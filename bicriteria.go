@@ -1,0 +1,321 @@
+package bicriteria
+
+import (
+	"io"
+
+	"bicriteria/internal/baselines"
+	"bicriteria/internal/core"
+	"bicriteria/internal/dualapprox"
+	"bicriteria/internal/experiment"
+	"bicriteria/internal/lowerbound"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/online"
+	"bicriteria/internal/reservation"
+	"bicriteria/internal/schedule"
+	"bicriteria/internal/sim"
+	"bicriteria/internal/trace"
+	"bicriteria/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Task and instance model
+// ---------------------------------------------------------------------------
+
+// Task is a moldable job: a weight (priority) and one processing time per
+// possible processor allocation. See internal/moldable for the full method
+// set (Time, Work, MinAllocFitting, ...).
+type Task = moldable.Task
+
+// Instance is a scheduling problem: m identical processors and a set of
+// moldable tasks available at time 0.
+type Instance = moldable.Instance
+
+// NewInstance builds an instance on m processors from a task list,
+// truncating allocation vectors to m entries.
+func NewInstance(m int, tasks []Task) *Instance { return moldable.NewInstance(m, tasks) }
+
+// NewSequentialTask builds a task that can only run on one processor.
+func NewSequentialTask(id int, weight, duration float64) Task {
+	return moldable.Sequential(id, weight, duration)
+}
+
+// NewRigidTask builds a task that must run on exactly procs processors.
+func NewRigidTask(id int, weight float64, procs int, duration float64) Task {
+	return moldable.Rigid(id, weight, procs, duration)
+}
+
+// NewPerfectlyMoldableTask builds a task with linear speedup up to
+// maxProcs.
+func NewPerfectlyMoldableTask(id int, weight, seqTime float64, maxProcs int) Task {
+	return moldable.PerfectlyMoldable(id, weight, seqTime, maxProcs)
+}
+
+// ---------------------------------------------------------------------------
+// Schedules
+// ---------------------------------------------------------------------------
+
+// Schedule is a complete placement of an instance's tasks (start times,
+// allocations, explicit processors), with validation, metrics and a Gantt
+// renderer.
+type Schedule = schedule.Schedule
+
+// Assignment is the placement of a single task.
+type Assignment = schedule.Assignment
+
+// ScheduleMetrics bundles makespan, weighted completion, utilization...
+type ScheduleMetrics = schedule.Metrics
+
+// ValidateOptions tunes schedule validation (release dates, partial
+// schedules).
+type ValidateOptions = schedule.ValidateOptions
+
+// ---------------------------------------------------------------------------
+// The DEMT bi-criteria algorithm (the paper's contribution)
+// ---------------------------------------------------------------------------
+
+// DEMTOptions tunes the DEMT algorithm; the zero value reproduces the
+// paper's algorithm (knapsack selection, list compaction with shuffling).
+type DEMTOptions = core.Options
+
+// DEMTResult is the output of the DEMT algorithm: final schedule, raw batch
+// schedule, batch structure and the makespan estimate/lower bound.
+type DEMTResult = core.Result
+
+// DEMT runs the bi-criteria batch algorithm of the paper on the instance.
+// A nil options pointer uses the paper's defaults.
+func DEMT(inst *Instance, opts *DEMTOptions) (*DEMTResult, error) {
+	return core.Schedule(inst, opts)
+}
+
+// Compaction modes for DEMTOptions.Compaction.
+const (
+	CompactionListShuffle   = core.CompactionListShuffle
+	CompactionList          = core.CompactionList
+	CompactionEarliestStart = core.CompactionEarliestStart
+	CompactionNone          = core.CompactionNone
+)
+
+// Selection modes for DEMTOptions.Selection.
+const (
+	SelectionKnapsack = core.SelectionKnapsack
+	SelectionGreedy   = core.SelectionGreedy
+)
+
+// ---------------------------------------------------------------------------
+// Baseline algorithms of the paper's evaluation
+// ---------------------------------------------------------------------------
+
+// Gang schedules every task on all the processors it can use, sorted by
+// decreasing weight over execution time.
+func Gang(inst *Instance) (*Schedule, error) { return baselines.Gang(inst) }
+
+// SequentialLPT schedules every task on a single processor with the
+// largest-processing-time-first list algorithm.
+func SequentialLPT(inst *Instance) (*Schedule, error) { return baselines.Sequential(inst) }
+
+// ListOrder selects the priority order of the list-scheduling baseline.
+type ListOrder = baselines.ListOrder
+
+// List-scheduling orders.
+const (
+	ListShelfOrder        = baselines.ShelfOrder
+	ListWeightedLPT       = baselines.WeightedLPT
+	ListSmallestAreaFirst = baselines.SmallestAreaFirst
+)
+
+// ListScheduling computes the dual-approximation allotment and runs the
+// Graham list algorithm with the requested order.
+func ListScheduling(inst *Instance, order ListOrder) (*Schedule, error) {
+	return baselines.ListGraham(inst, order)
+}
+
+// ---------------------------------------------------------------------------
+// Dual approximation and lower bounds
+// ---------------------------------------------------------------------------
+
+// DualApproxResult is the outcome of the two-shelf dual-approximation
+// construction (schedule, makespan estimate, certified lower bound,
+// allotment).
+type DualApproxResult = dualapprox.Result
+
+// DualApproximation runs the two-shelf dual-approximation makespan
+// algorithm used to anchor DEMT's batches.
+func DualApproximation(inst *Instance) (*DualApproxResult, error) { return dualapprox.TwoShelf(inst) }
+
+// MakespanLowerBound returns a certified lower bound on the optimal
+// makespan.
+func MakespanLowerBound(inst *Instance) float64 { return lowerbound.Makespan(inst) }
+
+// MinsumLowerBoundOptions tunes the LP lower bound.
+type MinsumLowerBoundOptions = lowerbound.MinsumOptions
+
+// MinsumLowerBound is the result of the LP (or ILP) lower bound.
+type MinsumLowerBound = lowerbound.MinsumBound
+
+// MinsumLowerBoundLP computes the paper's LP-relaxation lower bound on the
+// weighted sum of completion times.
+func MinsumLowerBoundLP(inst *Instance, opts *MinsumLowerBoundOptions) (*MinsumLowerBound, error) {
+	return lowerbound.MinsumLP(inst, opts)
+}
+
+// MinsumLowerBoundFast computes the cheap squashed-area lower bound on the
+// weighted sum of completion times.
+func MinsumLowerBoundFast(inst *Instance) float64 { return lowerbound.MinsumSquashedArea(inst) }
+
+// ---------------------------------------------------------------------------
+// Workload generation and persistence
+// ---------------------------------------------------------------------------
+
+// WorkloadKind selects one of the paper's workload families.
+type WorkloadKind = workload.Kind
+
+// Workload families of the paper's evaluation.
+const (
+	WorkloadWeaklyParallel = workload.WeaklyParallel
+	WorkloadHighlyParallel = workload.HighlyParallel
+	WorkloadMixed          = workload.Mixed
+	WorkloadCirne          = workload.Cirne
+)
+
+// WorkloadConfig drives instance generation.
+type WorkloadConfig = workload.Config
+
+// GenerateWorkload builds a random instance following the paper's models.
+func GenerateWorkload(cfg WorkloadConfig) (*Instance, error) { return workload.Generate(cfg) }
+
+// ParseWorkloadKind converts a string such as "cirne" into a WorkloadKind.
+func ParseWorkloadKind(s string) (WorkloadKind, error) { return workload.ParseKind(s) }
+
+// SaveInstance writes an instance to a JSON file.
+func SaveInstance(path string, inst *Instance) error { return workload.SaveInstance(path, inst) }
+
+// LoadInstance reads an instance from a JSON file.
+func LoadInstance(path string) (*Instance, error) { return workload.LoadInstance(path) }
+
+// WriteInstance serializes an instance as JSON.
+func WriteInstance(w io.Writer, inst *Instance) error { return workload.WriteInstance(w, inst) }
+
+// ReadInstance parses an instance from JSON.
+func ReadInstance(r io.Reader) (*Instance, error) { return workload.ReadInstance(r) }
+
+// ---------------------------------------------------------------------------
+// Experiment harness (the paper's figures)
+// ---------------------------------------------------------------------------
+
+// ExperimentConfig drives one experiment (one figure of the paper).
+type ExperimentConfig = experiment.Config
+
+// ExperimentResult is a complete figure: one series per algorithm.
+type ExperimentResult = experiment.Result
+
+// ExperimentAlgorithm identifies one algorithm of the comparison.
+type ExperimentAlgorithm = experiment.Algorithm
+
+// RunExperiment executes an experiment (see internal/experiment for the
+// aggregation rules, which follow section 4.2 of the paper).
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return experiment.Run(cfg) }
+
+// FormatExperiment renders an experiment result as text tables.
+func FormatExperiment(res *ExperimentResult) string { return experiment.FormatTable(res) }
+
+// ---------------------------------------------------------------------------
+// On-line batch scheduling and cluster simulation
+// ---------------------------------------------------------------------------
+
+// OnlineJob is a moldable task with a release date.
+type OnlineJob = online.Job
+
+// OnlineResult is the outcome of an on-line batch run.
+type OnlineResult = online.Result
+
+// OfflineScheduler adapts any off-line algorithm for the on-line batch
+// framework.
+type OfflineScheduler = online.OfflineScheduler
+
+// ScheduleOnline runs the on-line batch framework of section 2.2 of the
+// paper with the given off-line scheduler.
+func ScheduleOnline(m int, jobs []OnlineJob, offline OfflineScheduler) (*OnlineResult, error) {
+	return online.Schedule(m, jobs, offline)
+}
+
+// DEMTOffline wraps the DEMT scheduler into an OfflineScheduler.
+func DEMTOffline(opts *DEMTOptions) OfflineScheduler {
+	return func(inst *Instance) (*Schedule, error) {
+		res, err := core.Schedule(inst, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	}
+}
+
+// SimulationOptions tunes the discrete-event execution of a schedule.
+type SimulationOptions = sim.Options
+
+// SimulationResult reports the realized execution of a schedule.
+type SimulationResult = sim.Result
+
+// Simulate executes a schedule on the discrete-event cluster simulator.
+func Simulate(inst *Instance, sched *Schedule, opts *SimulationOptions) (*SimulationResult, error) {
+	return sim.Execute(inst, sched, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Node reservations (section 5 of the paper, "on-going works")
+// ---------------------------------------------------------------------------
+
+// Reservation blocks a number of processors during a time window
+// (maintenance, advance reservation for another user, ...).
+type Reservation = reservation.Reservation
+
+// ReservationOptions tunes the reservation-aware scheduler.
+type ReservationOptions = reservation.Options
+
+// ReservationResult is the outcome of reservation-aware scheduling.
+type ReservationResult = reservation.Result
+
+// ScheduleWithReservations runs DEMT and places the resulting plan around
+// the reserved windows (no job uses a reserved processor while it is
+// blocked).
+func ScheduleWithReservations(inst *Instance, reservations []Reservation, opts *ReservationOptions) (*ReservationResult, error) {
+	return reservation.Schedule(inst, reservations, opts)
+}
+
+// ValidateReservations checks that a schedule never uses a reserved
+// processor during its blocked window.
+func ValidateReservations(sched *Schedule, reservations []Reservation, blocked [][]int) error {
+	return reservation.ValidateAgainstReservations(sched, reservations, blocked)
+}
+
+// ---------------------------------------------------------------------------
+// SWF trace interchange
+// ---------------------------------------------------------------------------
+
+// TraceRecord is one job of a (simplified) Standard Workload Format trace.
+type TraceRecord = trace.Record
+
+// TraceMoldableOptions drives the reconstruction of moldable tasks from
+// rigid trace jobs.
+type TraceMoldableOptions = trace.MoldableOptions
+
+// ParseTrace reads an SWF fragment.
+func ParseTrace(r io.Reader) ([]TraceRecord, error) { return trace.Parse(r) }
+
+// WriteTrace emits SWF records.
+func WriteTrace(w io.Writer, records []TraceRecord) error { return trace.Write(w, records) }
+
+// TraceToTasks reconstructs moldable tasks from rigid trace records using a
+// Downey speedup curve calibrated on the recorded allocation and run time.
+func TraceToTasks(records []TraceRecord, m int, opts *TraceMoldableOptions) []Task {
+	return trace.ToTasks(records, m, opts)
+}
+
+// TraceReleases extracts the submission times of the records, keyed by job
+// ID (for use as on-line release dates).
+func TraceReleases(records []TraceRecord) map[int]float64 { return trace.Releases(records) }
+
+// ScheduleToTrace exports a schedule as SWF records (submission times taken
+// from the releases map, 0 when absent).
+func ScheduleToTrace(inst *Instance, sched *Schedule, releases map[int]float64) []TraceRecord {
+	return trace.FromSchedule(inst, sched, releases)
+}

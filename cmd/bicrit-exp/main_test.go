@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickFigure(t *testing.T) {
+	var buf bytes.Buffer
+	csvPath := filepath.Join(t.TempDir(), "fig.csv")
+	err := run([]string{
+		"-figure", "4", "-m", "12", "-runs", "2", "-tasks", "6,10",
+		"-algorithms", "demt,saf", "-csv", csvPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "highly-parallel") || !strings.Contains(out, "Makespan ratio") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "demt") {
+		t.Fatalf("CSV missing demt rows")
+	}
+}
+
+func TestRunCustomWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-workload", "mixed", "-m", "10", "-runs", "1", "-tasks", "5", "-algorithms", "demt"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mixed") {
+		t.Fatalf("missing workload name in output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "12"}, &buf); err == nil {
+		t.Fatalf("unknown figure must fail")
+	}
+	if err := run([]string{"-workload", "bogus"}, &buf); err == nil {
+		t.Fatalf("unknown workload must fail")
+	}
+	if err := run([]string{"-tasks", "abc"}, &buf); err == nil {
+		t.Fatalf("bad task list must fail")
+	}
+	if err := run([]string{"-tasks", "0"}, &buf); err == nil {
+		t.Fatalf("non-positive task count must fail")
+	}
+	if err := run([]string{"-algorithms", "bogus"}, &buf); err == nil {
+		t.Fatalf("unknown algorithm must fail")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	for _, kind := range []string{"selection", "compaction", "bound"} {
+		var buf bytes.Buffer
+		err := run([]string{"-ablation", kind, "-workload", "cirne", "-m", "10", "-ablation-n", "8", "-runs", "2"}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(buf.String(), "Ablation") {
+			t.Fatalf("%s: missing table:\n%s", kind, buf.String())
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-ablation", "bogus"}, &buf); err == nil {
+		t.Fatalf("unknown ablation must fail")
+	}
+	if err := run([]string{"-ablation", "bound", "-workload", "bogus"}, &buf); err == nil {
+		t.Fatalf("unknown workload with ablation must fail")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 25, 50 ,100 ")
+	if err != nil || len(got) != 3 || got[0] != 25 || got[2] != 100 {
+		t.Fatalf("parseInts failed: %v %v", got, err)
+	}
+	if _, err := parseInts(" , "); err == nil {
+		t.Fatalf("empty list must fail")
+	}
+}

@@ -1,0 +1,53 @@
+// Command bicrit-gen generates a synthetic moldable-task workload following
+// the models of the paper's evaluation (section 4.1) and writes it as JSON.
+//
+// Usage:
+//
+//	bicrit-gen -kind cirne -m 200 -n 100 -seed 7 -o workload.json
+//
+// When -o is omitted the instance is written to standard output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bicriteria"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bicrit-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bicrit-gen", flag.ContinueOnError)
+	kindFlag := fs.String("kind", "cirne", "workload kind: weakly-parallel, highly-parallel, mixed or cirne")
+	m := fs.Int("m", 200, "number of processors")
+	n := fs.Int("n", 100, "number of tasks")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	kind, err := bicriteria.ParseWorkloadKind(*kindFlag)
+	if err != nil {
+		return err
+	}
+	inst, err := bicriteria.GenerateWorkload(bicriteria.WorkloadConfig{Kind: kind, M: *m, N: *n, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return bicriteria.WriteInstance(os.Stdout, inst)
+	}
+	if err := bicriteria.SaveInstance(*out, inst); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tasks on %d processors (%s workload) to %s\n", inst.N(), inst.M, kind, *out)
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bicriteria"
+)
+
+func TestRunWritesWorkloadFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "w.json")
+	if err := run([]string{"-kind", "mixed", "-m", "16", "-n", "12", "-seed", "3", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := bicriteria.LoadInstance(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 12 || inst.M != 16 {
+		t.Fatalf("generated instance has wrong shape: %d tasks, %d processors", inst.N(), inst.M)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-kind", "nonsense"}); err == nil {
+		t.Fatalf("unknown kind must fail")
+	}
+	if err := run([]string{"-kind", "cirne", "-n", "0"}); err == nil {
+		t.Fatalf("zero tasks must fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatalf("unknown flag must fail")
+	}
+}

@@ -1,0 +1,24 @@
+// Package bicriteria is a Go implementation of the bi-criteria moldable-job
+// scheduling algorithm of Dutot, Eyraud, Mounié and Trystram ("Bi-criteria
+// Algorithm for Scheduling Jobs on Cluster Platforms", SPAA 2004), together
+// with every substrate the paper relies on: the moldable-task model, the
+// dual-approximation makespan machinery, list-scheduling engines, the
+// baseline algorithms of the paper's evaluation, the LP-relaxation lower
+// bound on the weighted sum of completion times, the synthetic workload
+// generators, an experiment harness reproducing the paper's figures, an
+// on-line batch framework and a discrete-event cluster simulator.
+//
+// The root package is a thin facade over the internal packages: it exposes
+// the task and schedule model, the DEMT scheduler, the baselines, the lower
+// bounds, the workload generators and the simulator under one import path.
+//
+// # Quick start
+//
+//	inst, _ := bicriteria.GenerateWorkload(bicriteria.WorkloadConfig{
+//		Kind: bicriteria.WorkloadCirne, M: 200, N: 100, Seed: 1,
+//	})
+//	res, _ := bicriteria.DEMT(inst, nil)
+//	fmt.Println(res.Schedule.Makespan(), res.Schedule.WeightedCompletion(inst))
+//
+// See the examples/ directory and README.md for complete programs.
+package bicriteria

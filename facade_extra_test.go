@@ -1,0 +1,90 @@
+package bicriteria
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeReservations exercises the reservation-aware scheduling through
+// the public API.
+func TestFacadeReservations(t *testing.T) {
+	inst, err := GenerateWorkload(WorkloadConfig{Kind: WorkloadMixed, M: 16, N: 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reservations := []Reservation{
+		{Name: "maintenance", Procs: 4, Start: 0, End: 5},
+		{Name: "other", Procs: 6, Start: 8, End: 12},
+	}
+	res, err := ScheduleWithReservations(inst, reservations, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst, nil); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	if err := ValidateReservations(res.Schedule, reservations, res.Blocked); err != nil {
+		t.Fatalf("reservation violated: %v", err)
+	}
+	if res.Schedule.Makespan() < res.DEMT.Schedule.Makespan()-1e-6 {
+		t.Fatalf("reserved schedule cannot finish earlier than the unreserved plan")
+	}
+	// Reserving the whole machine must fail.
+	if _, err := ScheduleWithReservations(inst, []Reservation{{Procs: 16, Start: 0, End: 100}}, nil); err == nil {
+		t.Fatalf("full-machine reservation must fail")
+	}
+}
+
+// TestFacadeTraceRoundTrip exercises the SWF interchange through the public
+// API: schedule a workload, export it, re-import it and schedule the
+// reconstructed jobs on-line.
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	inst, err := GenerateWorkload(WorkloadConfig{Kind: WorkloadCirne, M: 12, N: 15, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DEMT(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := ScheduleToTrace(inst, res.Schedule, nil)
+	if len(records) != inst.N() {
+		t.Fatalf("export lost jobs: %d records for %d tasks", len(records), inst.N())
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ";") {
+		t.Fatalf("missing SWF header")
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip lost records")
+	}
+
+	// Reconstruct moldable jobs from the rigid records and replay them
+	// on-line.
+	tasks := TraceToTasks(back, 12, nil)
+	if len(tasks) != len(back) {
+		t.Fatalf("reconstruction lost jobs")
+	}
+	releases := TraceReleases(back)
+	jobs := make([]OnlineJob, len(tasks))
+	for i, task := range tasks {
+		jobs[i] = OnlineJob{Task: task, Release: releases[task.ID]}
+	}
+	onlineRes, err := ScheduleOnline(12, jobs, DEMTOffline(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := NewInstance(12, tasks)
+	if err := onlineRes.Schedule.Validate(replay, &ValidateOptions{ReleaseDates: releases}); err != nil {
+		t.Fatalf("replayed schedule invalid: %v", err)
+	}
+}

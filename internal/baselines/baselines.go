@@ -1,0 +1,193 @@
+// Package baselines implements the reference algorithms the paper compares
+// DEMT against (section 4.1):
+//
+//   - Gang: every task runs on all processors, tasks sorted by decreasing
+//     weight over execution time (optimal for perfectly moldable tasks);
+//
+//   - Sequential: every task runs on a single processor, scheduled by the
+//     largest-processing-time-first list algorithm;
+//
+//   - ListGraham (three variants): every task uses the allotment computed by
+//     the dual-approximation algorithm [7], then a multiprocessor list
+//     algorithm runs with one of three orders: the shelf order of [7],
+//     weighted LPT, or smallest area first (SAF).
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"bicriteria/internal/dualapprox"
+	"bicriteria/internal/listsched"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/schedule"
+)
+
+// Gang schedules every task on all the processors it can use (its full
+// allocation), one task after the other, sorted by decreasing ratio of
+// weight over execution time (Smith's rule on the gang execution times).
+func Gang(inst *moldable.Instance) (*schedule.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	type entry struct {
+		idx   int
+		procs int
+		dur   float64
+	}
+	entries := make([]entry, inst.N())
+	for i := range inst.Tasks {
+		t := &inst.Tasks[i]
+		k := t.MaxProcs()
+		entries[i] = entry{idx: i, procs: k, dur: t.Time(k)}
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		ta, tb := &inst.Tasks[entries[a].idx], &inst.Tasks[entries[b].idx]
+		// Decreasing weight / execution time.
+		return ta.Weight*entries[b].dur > tb.Weight*entries[a].dur
+	})
+	sched := schedule.New(inst.M)
+	now := 0.0
+	for _, e := range entries {
+		t := &inst.Tasks[e.idx]
+		sched.Add(schedule.Assignment{
+			TaskID:   t.ID,
+			Start:    now,
+			NProcs:   e.procs,
+			Procs:    procRange(0, e.procs),
+			Duration: e.dur,
+		})
+		now += e.dur
+	}
+	return sched, nil
+}
+
+// Sequential schedules every task on a single processor with the classical
+// largest-processing-time-first list algorithm.
+func Sequential(inst *moldable.Instance) (*schedule.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	items := make([]listsched.Item, inst.N())
+	for i := range inst.Tasks {
+		items[i] = listsched.Item{TaskID: inst.Tasks[i].ID, NProcs: 1, Duration: inst.Tasks[i].SeqTime()}
+	}
+	sort.SliceStable(items, func(a, b int) bool { return items[a].Duration > items[b].Duration })
+	return listsched.Graham(inst.M, items)
+}
+
+// ListOrder selects the priority order of the ListGraham baseline.
+type ListOrder int
+
+const (
+	// ShelfOrder keeps the order of the dual-approximation construction:
+	// tasks of the large shelf first, then the small shelf, then the small
+	// sequential tasks (within each group, longest first).
+	ShelfOrder ListOrder = iota
+	// WeightedLPT sorts tasks by decreasing ratio of weight over execution
+	// time under their allotment (the "weighted LPTF" variant of the
+	// paper).
+	WeightedLPT
+	// SmallestAreaFirst sorts tasks by increasing area (allotment times
+	// execution time), targeting the minsum criterion.
+	SmallestAreaFirst
+)
+
+// String names the order for figures and CLI flags.
+func (o ListOrder) String() string {
+	switch o {
+	case ShelfOrder:
+		return "list-shelf"
+	case WeightedLPT:
+		return "list-weighted-lpt"
+	case SmallestAreaFirst:
+		return "list-saf"
+	default:
+		return fmt.Sprintf("ListOrder(%d)", int(o))
+	}
+}
+
+// ListGraham computes the dual-approximation allotment and runs the Graham
+// list algorithm with the requested order.
+func ListGraham(inst *moldable.Instance, order ListOrder) (*schedule.Schedule, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := dualapprox.TwoShelf(inst)
+	if err != nil {
+		return nil, err
+	}
+	return ListGrahamWithAllotment(inst, res, order)
+}
+
+// ListGrahamWithAllotment is ListGraham with a pre-computed
+// dual-approximation result (so the three variants can share one allotment
+// computation, as the experiment harness does).
+func ListGrahamWithAllotment(inst *moldable.Instance, res *dualapprox.Result, order ListOrder) (*schedule.Schedule, error) {
+	if len(res.Allotment) != inst.N() {
+		return nil, fmt.Errorf("baselines: allotment has %d entries for %d tasks", len(res.Allotment), inst.N())
+	}
+	items := make([]listsched.Item, inst.N())
+	for i := range inst.Tasks {
+		k := res.Allotment[i]
+		items[i] = listsched.Item{TaskID: inst.Tasks[i].ID, NProcs: k, Duration: inst.Tasks[i].Time(k)}
+	}
+	switch order {
+	case ShelfOrder:
+		rank := shelfRank(res)
+		sort.SliceStable(items, func(a, b int) bool {
+			ra, rb := rank[items[a].TaskID], rank[items[b].TaskID]
+			if ra != rb {
+				return ra < rb
+			}
+			return items[a].Duration > items[b].Duration
+		})
+	case WeightedLPT:
+		weight := taskWeights(inst)
+		sort.SliceStable(items, func(a, b int) bool {
+			wa, wb := weight[items[a].TaskID], weight[items[b].TaskID]
+			return wa*items[b].Duration > wb*items[a].Duration
+		})
+	case SmallestAreaFirst:
+		sort.SliceStable(items, func(a, b int) bool {
+			areaA := float64(items[a].NProcs) * items[a].Duration
+			areaB := float64(items[b].NProcs) * items[b].Duration
+			return areaA < areaB
+		})
+	default:
+		return nil, fmt.Errorf("baselines: unknown list order %d", int(order))
+	}
+	return listsched.Graham(inst.M, items)
+}
+
+// shelfRank maps task IDs to their group in the shelf order: 0 for the
+// large shelf, 1 for the small shelf, 2 for the small sequential filler.
+func shelfRank(res *dualapprox.Result) map[int]int {
+	rank := make(map[int]int)
+	for _, id := range res.Shelf1 {
+		rank[id] = 0
+	}
+	for _, id := range res.Shelf2 {
+		rank[id] = 1
+	}
+	for _, id := range res.Small {
+		rank[id] = 2
+	}
+	return rank
+}
+
+func taskWeights(inst *moldable.Instance) map[int]float64 {
+	w := make(map[int]float64, inst.N())
+	for i := range inst.Tasks {
+		w[inst.Tasks[i].ID] = inst.Tasks[i].Weight
+	}
+	return w
+}
+
+func procRange(from, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+// Package dualapprox implements the dual-approximation makespan machinery
+// for moldable tasks used by the paper:
+//
+//   - a certified lower bound on the optimal makespan (binary search on the
+//     classical necessary conditions: every task fits and the total minimal
+//     work fits in the m*lambda area);
+//
+//   - the canonical allotment "smallest allocation that meets a deadline"
+//     (reference [7] of the paper, Dutot/Mounié/Trystram, Handbook of
+//     Scheduling ch. 28), reused by the list-scheduling baselines;
+//
+//   - a two-shelf construction (large shelf of length lambda, small shelf of
+//     length lambda/2, small sequential tasks squeezed into the remaining
+//     holes) driven by a knapsack partition, in the spirit of the MRT
+//     algorithm (Mounié, Rapine, Trystram, SPAA'99). The construction is
+//     used to produce the approximate optimal makespan C*max that anchors
+//     the DEMT batch sizes.
+package dualapprox
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bicriteria/internal/knapsack"
+	"bicriteria/internal/listsched"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/schedule"
+)
+
+// MakespanLowerBound returns a valid lower bound on the optimal makespan of
+// the instance. It is the smallest lambda satisfying the two classical
+// necessary conditions for feasibility of a deadline lambda:
+//
+//  1. every task admits an allocation with p_i(k) <= lambda, and
+//  2. the total minimal work of tasks under deadline lambda fits in the
+//     area m*lambda.
+//
+// Because the minimal work W_i(lambda) is non-increasing in lambda, both
+// conditions are monotone and the bound is found by bisection.
+func MakespanLowerBound(inst *moldable.Instance) float64 {
+	// Any feasible deadline is at least the longest fully-parallel task and
+	// at least the total minimal work divided by the machine size, so the
+	// bisection can start from the larger of the two.
+	lo := inst.MaxMinTime()
+	if area := inst.TotalMinWork() / float64(inst.M); area > lo {
+		lo = area
+	}
+	// Upper bound: run every task with its minimal-work allocation one
+	// after the other.
+	hi := 0.0
+	for i := range inst.Tasks {
+		p, _ := inst.Tasks[i].MinTime()
+		hi += p
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if feasibleConditions(inst, lo) {
+		return lo
+	}
+	for iter := 0; iter < 100 && hi-lo > 1e-9*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if feasibleConditions(inst, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// feasibleConditions checks the two necessary conditions for deadline
+// lambda.
+func feasibleConditions(inst *moldable.Instance, lambda float64) bool {
+	totalWork := 0.0
+	for i := range inst.Tasks {
+		_, w, ok := inst.Tasks[i].MinWorkFitting(lambda)
+		if !ok {
+			return false
+		}
+		totalWork += w
+	}
+	return totalWork <= float64(inst.M)*lambda+moldable.Eps
+}
+
+// Allotment returns, for every task (in instance order), the canonical
+// allocation for the deadline: the smallest processor count whose
+// processing time fits within the deadline; tasks that cannot fit fall back
+// to their fastest allocation.
+func Allotment(inst *moldable.Instance, deadline float64) []int {
+	allot := make([]int, len(inst.Tasks))
+	for i := range inst.Tasks {
+		if k, ok := inst.Tasks[i].MinAllocFitting(deadline); ok {
+			allot[i] = k
+		} else {
+			_, k := inst.Tasks[i].MinTime()
+			allot[i] = k
+		}
+	}
+	return allot
+}
+
+// Result is the outcome of the two-shelf dual approximation.
+type Result struct {
+	// Lambda is the critical deadline found by the binary search (the
+	// smallest deadline at which the two-shelf construction succeeded).
+	Lambda float64
+	// LowerBound is the certified makespan lower bound of the instance.
+	LowerBound float64
+	// Schedule is the feasible schedule built by the construction.
+	Schedule *schedule.Schedule
+	// Estimate is the makespan of Schedule, used as the approximate C*max
+	// by the DEMT algorithm.
+	Estimate float64
+	// Shelf1, Shelf2 and Small list the task IDs assigned to the long
+	// shelf, the short shelf and the small-sequential filler set.
+	Shelf1, Shelf2, Small []int
+	// Allotment gives the allocation retained for every task (instance
+	// order) at the critical deadline.
+	Allotment []int
+}
+
+// TwoShelf runs the dual-approximation construction: a bisection over the
+// deadline lambda, keeping the smallest lambda for which the two-shelf
+// structure (plus the small-task filler) yields a feasible schedule, and
+// returns that schedule together with the certified lower bound.
+func TwoShelf(inst *moldable.Instance) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	lb := MakespanLowerBound(inst)
+	lo, hi := lb, upperBound(inst)
+
+	best, bestLambda := buildTwoShelf(inst, hi), hi
+	if best == nil {
+		// The construction cannot fail at the stacked upper bound, but keep
+		// a defensive fallback through the list scheduler.
+		var err error
+		best, err = listFallback(inst, hi)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for iter := 0; iter < 60 && hi-lo > 1e-6*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if s := buildTwoShelf(inst, mid); s != nil {
+			best, bestLambda = s, mid
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+
+	res := &Result{
+		Lambda:     bestLambda,
+		LowerBound: lb,
+		Schedule:   best,
+		Estimate:   best.Makespan(),
+		Allotment:  Allotment(inst, bestLambda),
+	}
+	classifyShelves(inst, bestLambda, res)
+	return res, nil
+}
+
+// Estimate is a convenience wrapper returning the approximate optimal
+// makespan (the makespan of the dual-approximation schedule) and the
+// certified lower bound.
+func Estimate(inst *moldable.Instance) (cmax, lowerBound float64, err error) {
+	res, err := TwoShelf(inst)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Estimate, res.LowerBound, nil
+}
+
+// upperBound stacks every task sequentially with its fastest allocation.
+func upperBound(inst *moldable.Instance) float64 {
+	total := 0.0
+	for i := range inst.Tasks {
+		p, _ := inst.Tasks[i].MinTime()
+		total += p
+	}
+	return total
+}
+
+// listFallback schedules every task with its deadline allotment through the
+// Graham list scheduler (largest processing time first).
+func listFallback(inst *moldable.Instance, deadline float64) (*schedule.Schedule, error) {
+	allot := Allotment(inst, deadline)
+	items := make([]listsched.Item, len(inst.Tasks))
+	for i := range inst.Tasks {
+		items[i] = listsched.Item{
+			TaskID:   inst.Tasks[i].ID,
+			NProcs:   allot[i],
+			Duration: inst.Tasks[i].Time(allot[i]),
+		}
+	}
+	sort.SliceStable(items, func(a, b int) bool { return items[a].Duration > items[b].Duration })
+	return listsched.Graham(inst.M, items)
+}
+
+// buildTwoShelf attempts the two-shelf construction for deadline lambda and
+// returns nil when the structure is infeasible at that deadline.
+func buildTwoShelf(inst *moldable.Instance, lambda float64) *schedule.Schedule {
+	m := inst.M
+	type entry struct {
+		idx    int // index in inst.Tasks
+		c1, c2 int // allocations for the long and short shelf (c2 = 0: none)
+	}
+	var shelfTasks []entry
+	var smallSeq []int // indices of tasks with p(1) <= lambda/2
+
+	for i := range inst.Tasks {
+		t := &inst.Tasks[i]
+		if t.SeqTime() <= lambda/2+moldable.Eps {
+			smallSeq = append(smallSeq, i)
+			continue
+		}
+		c1, ok := t.MinAllocFitting(lambda)
+		if !ok {
+			return nil // the deadline is below this task's fastest time
+		}
+		c2, ok2 := t.MinAllocFitting(lambda / 2)
+		if !ok2 {
+			c2 = 0
+		}
+		shelfTasks = append(shelfTasks, entry{idx: i, c1: c1, c2: c2})
+	}
+
+	// Knapsack partition: minimize total work, shelf-1 processor budget m.
+	cost1 := make([]int, len(shelfTasks))
+	work1 := make([]float64, len(shelfTasks))
+	work2 := make([]float64, len(shelfTasks))
+	for j, e := range shelfTasks {
+		t := &inst.Tasks[e.idx]
+		cost1[j] = e.c1
+		work1[j] = t.Work(e.c1)
+		if e.c2 > 0 {
+			work2[j] = t.Work(e.c2)
+		} else {
+			work2[j] = math.Inf(1)
+		}
+	}
+	onShelf1, _, err := knapsack.MinCostPartition(cost1, work1, work2, m)
+	if err != nil {
+		return nil
+	}
+
+	// Repair pass: the short shelf also has only m processors. Move the
+	// cheapest shelf-2 tasks back to shelf 1 while its budget allows.
+	shelf1Procs, shelf2Procs := 0, 0
+	for j, e := range shelfTasks {
+		if onShelf1[j] {
+			shelf1Procs += e.c1
+		} else {
+			shelf2Procs += e.c2
+		}
+	}
+	for shelf2Procs > m {
+		bestJ := -1
+		bestDelta := math.Inf(1)
+		for j, e := range shelfTasks {
+			if onShelf1[j] {
+				continue
+			}
+			if shelf1Procs+e.c1 > m {
+				continue
+			}
+			delta := work1[j] - work2[j]
+			if delta < bestDelta {
+				bestDelta = delta
+				bestJ = j
+			}
+		}
+		if bestJ < 0 {
+			return nil
+		}
+		onShelf1[bestJ] = true
+		shelf1Procs += shelfTasks[bestJ].c1
+		shelf2Procs -= shelfTasks[bestJ].c2
+	}
+
+	// Build the schedule: long shelf at time 0, short shelf at time lambda.
+	sched := schedule.New(m)
+	nextProcShelf1, nextProcShelf2 := 0, 0
+	// procBusy tracks, per processor, the busy prefix [0, end1) and the
+	// second busy block [lambda, end2) so small tasks can fill the holes.
+	end1 := make([]float64, m)
+	end2 := make([]float64, m)
+	for p := range end2 {
+		end2[p] = lambda
+	}
+	for j, e := range shelfTasks {
+		t := &inst.Tasks[e.idx]
+		if onShelf1[j] {
+			procs := procRange(nextProcShelf1, e.c1)
+			nextProcShelf1 += e.c1
+			d := t.Time(e.c1)
+			for _, p := range procs {
+				end1[p] = d
+			}
+			sched.Add(schedule.Assignment{TaskID: t.ID, Start: 0, NProcs: e.c1, Procs: procs, Duration: d})
+		} else {
+			procs := procRange(nextProcShelf2, e.c2)
+			nextProcShelf2 += e.c2
+			d := t.Time(e.c2)
+			for _, p := range procs {
+				end2[p] = lambda + d
+			}
+			sched.Add(schedule.Assignment{TaskID: t.ID, Start: lambda, NProcs: e.c2, Procs: procs, Duration: d})
+		}
+	}
+
+	// Place the small sequential tasks: first into the holes between the
+	// two shelves (best fit), otherwise after the short shelf on the least
+	// loaded processor. Process longest first for better packing.
+	sort.Slice(smallSeq, func(a, b int) bool {
+		return inst.Tasks[smallSeq[a]].SeqTime() > inst.Tasks[smallSeq[b]].SeqTime()
+	})
+	for _, idx := range smallSeq {
+		t := &inst.Tasks[idx]
+		d := t.SeqTime()
+		bestProc, bestSlack := -1, math.Inf(1)
+		for p := 0; p < m; p++ {
+			slack := lambda - end1[p]
+			if d <= slack+moldable.Eps && slack < bestSlack {
+				bestSlack = slack
+				bestProc = p
+			}
+		}
+		if bestProc >= 0 {
+			sched.Add(schedule.Assignment{TaskID: t.ID, Start: end1[bestProc], NProcs: 1, Procs: []int{bestProc}, Duration: d})
+			end1[bestProc] += d
+			continue
+		}
+		// Append after the short shelf on the earliest-available processor.
+		bestProc = 0
+		for p := 1; p < m; p++ {
+			if end2[p] < end2[bestProc] {
+				bestProc = p
+			}
+		}
+		sched.Add(schedule.Assignment{TaskID: t.ID, Start: end2[bestProc], NProcs: 1, Procs: []int{bestProc}, Duration: d})
+		end2[bestProc] += d
+	}
+	return sched
+}
+
+// procRange returns processor indices [from, from+count).
+func procRange(from, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}
+
+// classifyShelves fills the Shelf1/Shelf2/Small fields of the result from
+// the final schedule geometry.
+func classifyShelves(inst *moldable.Instance, lambda float64, res *Result) {
+	for i := range res.Schedule.Assignments {
+		a := &res.Schedule.Assignments[i]
+		t := inst.Task(a.TaskID)
+		switch {
+		case t != nil && t.SeqTime() <= lambda/2+moldable.Eps && a.NProcs == 1:
+			res.Small = append(res.Small, a.TaskID)
+		case a.Start < lambda-moldable.Eps:
+			res.Shelf1 = append(res.Shelf1, a.TaskID)
+		default:
+			res.Shelf2 = append(res.Shelf2, a.TaskID)
+		}
+	}
+	sort.Ints(res.Shelf1)
+	sort.Ints(res.Shelf2)
+	sort.Ints(res.Small)
+}
+
+// ErrInfeasible is returned when an instance cannot be scheduled at all
+// (should not happen for validated instances).
+var ErrInfeasible = fmt.Errorf("dualapprox: no feasible schedule found")

@@ -1,0 +1,178 @@
+package dualapprox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/workload"
+)
+
+func smallInstance() *moldable.Instance {
+	return moldable.NewInstance(4, []moldable.Task{
+		{ID: 0, Weight: 1, Times: []float64{8, 4.5, 3.2, 2.5}},
+		{ID: 1, Weight: 2, Times: []float64{6, 3.5, 2.6, 2.2}},
+		{ID: 2, Weight: 1, Times: []float64{2, 1.2}},
+		{ID: 3, Weight: 3, Times: []float64{1.5}},
+		{ID: 4, Weight: 1, Times: []float64{10, 5.5, 4, 3.1}},
+	})
+}
+
+func TestMakespanLowerBoundBasicProperties(t *testing.T) {
+	inst := smallInstance()
+	lb := MakespanLowerBound(inst)
+	if lb < inst.MaxMinTime()-1e-9 {
+		t.Fatalf("lower bound %g below the longest fully parallel task %g", lb, inst.MaxMinTime())
+	}
+	if lb < inst.TotalMinWork()/float64(inst.M)-1e-9 {
+		t.Fatalf("lower bound %g below the area bound %g", lb, inst.TotalMinWork()/float64(inst.M))
+	}
+	// The two necessary conditions must hold at the bound.
+	if !feasibleConditions(inst, lb+1e-9) {
+		t.Fatalf("conditions must hold at the bound")
+	}
+	// ... and fail just below it when the bound is not degenerate.
+	if lb > inst.MaxMinTime()+1e-6 && feasibleConditions(inst, lb*0.999) {
+		t.Fatalf("conditions should fail just below the bound")
+	}
+}
+
+func TestMakespanLowerBoundSingleBigTask(t *testing.T) {
+	inst := moldable.NewInstance(8, []moldable.Task{
+		moldable.PerfectlyMoldable(0, 1, 64, 8),
+	})
+	lb := MakespanLowerBound(inst)
+	// Perfect speedup on 8 processors: 64/8 = 8 is both area and min-time.
+	if math.Abs(lb-8) > 1e-6 {
+		t.Fatalf("lb = %g, want 8", lb)
+	}
+}
+
+func TestAllotment(t *testing.T) {
+	inst := smallInstance()
+	allot := Allotment(inst, 3.5)
+	// Task 0: p(3)=3.2 <= 3.5 -> 3; task 1: p(2)=3.5 -> 2; task 2: p(1)=2 -> 1;
+	// task 3: 1 ; task 4: nothing fits 3.5 except p(4)=3.1 -> 4.
+	want := []int{3, 2, 1, 1, 4}
+	for i, w := range want {
+		if allot[i] != w {
+			t.Fatalf("allot[%d] = %d, want %d (full %v)", i, allot[i], w, allot)
+		}
+	}
+	// Deadline below every processing time of task 4 -> fastest allocation.
+	allot = Allotment(inst, 1.0)
+	if allot[4] != 4 {
+		t.Fatalf("fallback allotment = %d, want 4", allot[4])
+	}
+}
+
+func TestTwoShelfProducesValidSchedule(t *testing.T) {
+	inst := smallInstance()
+	res, err := TwoShelf(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst, nil); err != nil {
+		t.Fatalf("invalid schedule: %v\n%s", err, res.Schedule.String())
+	}
+	if res.Estimate < res.LowerBound-1e-6 {
+		t.Fatalf("estimate %g below lower bound %g", res.Estimate, res.LowerBound)
+	}
+	if res.Lambda < res.LowerBound-1e-6 {
+		t.Fatalf("lambda %g below lower bound %g", res.Lambda, res.LowerBound)
+	}
+	if len(res.Allotment) != inst.N() {
+		t.Fatalf("allotment has %d entries, want %d", len(res.Allotment), inst.N())
+	}
+	total := len(res.Shelf1) + len(res.Shelf2) + len(res.Small)
+	if total != inst.N() {
+		t.Fatalf("shelf classification covers %d tasks, want %d", total, inst.N())
+	}
+}
+
+func TestTwoShelfSingleProcessorMachine(t *testing.T) {
+	inst := moldable.NewInstance(1, []moldable.Task{
+		moldable.Sequential(0, 1, 3),
+		moldable.Sequential(1, 2, 5),
+		moldable.Sequential(2, 1, 1),
+	})
+	res, err := TwoShelf(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst, nil); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	// On one processor the makespan is exactly the total work.
+	if math.Abs(res.Schedule.Makespan()-9) > 1e-6 {
+		t.Fatalf("makespan = %g, want 9", res.Schedule.Makespan())
+	}
+	if math.Abs(res.LowerBound-9) > 1e-6 {
+		t.Fatalf("lower bound = %g, want 9", res.LowerBound)
+	}
+}
+
+func TestTwoShelfRejectsInvalidInstance(t *testing.T) {
+	if _, err := TwoShelf(&moldable.Instance{M: 0}); err == nil {
+		t.Fatalf("invalid instance must fail")
+	}
+}
+
+func TestEstimateWrapper(t *testing.T) {
+	inst := smallInstance()
+	cmax, lb, err := Estimate(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmax < lb {
+		t.Fatalf("estimate %g below lower bound %g", cmax, lb)
+	}
+}
+
+func TestTwoShelfGangInstance(t *testing.T) {
+	// All tasks perfectly moldable: the lower bound equals total work / m
+	// and the construction should land within a factor ~2 of it.
+	tasks := make([]moldable.Task, 10)
+	for i := range tasks {
+		tasks[i] = moldable.PerfectlyMoldable(i, 1, 10+float64(i), 8)
+	}
+	inst := moldable.NewInstance(8, tasks)
+	res, err := TwoShelf(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(inst, nil); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	if res.Estimate > 3*res.LowerBound {
+		t.Fatalf("estimate %g too far above lower bound %g", res.Estimate, res.LowerBound)
+	}
+}
+
+func TestPropertyTwoShelfValidAndBounded(t *testing.T) {
+	kinds := workload.Kinds()
+	f := func(seed int64, kindRaw uint8, nRaw uint8) bool {
+		kind := kinds[int(kindRaw)%len(kinds)]
+		n := 3 + int(nRaw)%30
+		inst, err := workload.Generate(workload.Config{Kind: kind, M: 16, N: n, Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := TwoShelf(inst)
+		if err != nil {
+			return false
+		}
+		if err := res.Schedule.Validate(inst, nil); err != nil {
+			return false
+		}
+		// The construction should stay within a reasonable factor of the
+		// certified lower bound on these benign workloads (the paper's list
+		// baselines achieve < 2 on average; we allow 3 to keep the property
+		// robust).
+		return res.Estimate >= res.LowerBound-1e-6 && res.Estimate <= 3*res.LowerBound+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package exact computes provably optimal schedules for tiny moldable
+// instances by exhaustive search. It exists to validate the rest of the
+// library: lower bounds must never exceed the optimum, and the DEMT /
+// baseline schedules must never beat it.
+//
+// The search enumerates, for every task, its Pareto-optimal allotments and,
+// for every permutation of the tasks, the schedule produced by the serial
+// schedule-generation scheme (each task placed at the earliest instant at
+// which enough processors are free, filling holes). Over all permutations
+// this scheme generates every active schedule, and the set of active
+// schedules contains an optimum for any regular objective such as the
+// makespan or the weighted sum of completion times.
+//
+// Complexity is O(n! * prod_i allotments_i * n^2): usable up to ~7 tasks,
+// which is all the tests need.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/schedule"
+)
+
+// Objective selects the criterion to optimize.
+type Objective int
+
+const (
+	// Makespan minimizes Cmax.
+	Makespan Objective = iota
+	// WeightedCompletion minimizes sum(w_i * C_i).
+	WeightedCompletion
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case Makespan:
+		return "makespan"
+	case WeightedCompletion:
+		return "weighted-completion"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Limits bounds the exhaustive search.
+type Limits struct {
+	// MaxTasks refuses instances with more tasks (default 8).
+	MaxTasks int
+	// MaxSchedules bounds the number of evaluated (permutation, allotment)
+	// combinations (default 5 million).
+	MaxSchedules int
+}
+
+func (l *Limits) withDefaults() Limits {
+	out := Limits{MaxTasks: 8, MaxSchedules: 5_000_000}
+	if l != nil {
+		if l.MaxTasks > 0 {
+			out.MaxTasks = l.MaxTasks
+		}
+		if l.MaxSchedules > 0 {
+			out.MaxSchedules = l.MaxSchedules
+		}
+	}
+	return out
+}
+
+// Result is the outcome of the exact search.
+type Result struct {
+	// Schedule is an optimal schedule (with explicit processors).
+	Schedule *schedule.Schedule
+	// Value is the optimal objective value.
+	Value float64
+	// Evaluated is the number of (permutation, allotment) combinations
+	// examined.
+	Evaluated int
+}
+
+// Solve finds an optimal schedule of the instance for the objective.
+func Solve(inst *moldable.Instance, objective Objective, limits *Limits) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	lim := limits.withDefaults()
+	n := inst.N()
+	if n > lim.MaxTasks {
+		return nil, fmt.Errorf("exact: instance has %d tasks, limit is %d", n, lim.MaxTasks)
+	}
+	switch objective {
+	case Makespan, WeightedCompletion:
+	default:
+		return nil, fmt.Errorf("exact: unknown objective %d", int(objective))
+	}
+
+	// Pareto-optimal allotments per task: keep only allocations that
+	// strictly decrease the processing time compared to every smaller
+	// allocation (any other allocation is dominated for both criteria).
+	allotments := make([][]int, n)
+	for i := range inst.Tasks {
+		t := &inst.Tasks[i]
+		best := math.Inf(1)
+		for k := 1; k <= t.MaxProcs(); k++ {
+			if t.Time(k) < best-moldable.Eps {
+				best = t.Time(k)
+				allotments[i] = append(allotments[i], k)
+			}
+		}
+	}
+
+	res := &Result{Value: math.Inf(1)}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	alloc := make([]int, n)
+
+	var enumerateAlloc func(pos int) error
+	var permute func(k int) error
+
+	evaluate := func() error {
+		res.Evaluated++
+		if res.Evaluated > lim.MaxSchedules {
+			return fmt.Errorf("exact: search exceeded the limit of %d schedules", lim.MaxSchedules)
+		}
+		sched, value := buildAndEvaluate(inst, perm, alloc, objective)
+		if value < res.Value-moldable.Eps {
+			res.Value = value
+			res.Schedule = sched
+		}
+		return nil
+	}
+
+	enumerateAlloc = func(pos int) error {
+		if pos == n {
+			return evaluate()
+		}
+		for _, k := range allotments[perm[pos]] {
+			alloc[pos] = k
+			if err := enumerateAlloc(pos + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	permute = func(k int) error {
+		if k == n {
+			return enumerateAlloc(0)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if err := permute(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+
+	if err := permute(0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// placedTask is a capacity reservation used during the serial schedule
+// generation.
+type placedTask struct {
+	start, end float64
+	procs      int
+}
+
+// buildAndEvaluate runs the serial schedule-generation scheme: tasks are
+// placed in permutation order (alloc[pos] is the allocation of task
+// perm[pos]), each at the earliest time at which enough processors are free
+// given the previously placed tasks, filling holes.
+func buildAndEvaluate(inst *moldable.Instance, perm, alloc []int, objective Objective) (*schedule.Schedule, float64) {
+	var placed []placedTask
+	m := inst.M
+	sched := schedule.New(m)
+
+	for pos, idx := range perm {
+		t := &inst.Tasks[idx]
+		k := alloc[pos]
+		d := t.Time(k)
+		// Candidate start times: 0 and every completion time of an already
+		// placed task; the last candidate (after everything) always fits.
+		candidates := []float64{0}
+		for _, p := range placed {
+			candidates = append(candidates, p.end)
+		}
+		sort.Float64s(candidates)
+		start := candidates[len(candidates)-1]
+		for _, c := range candidates {
+			if capacityFree(placed, c, c+d, m) >= k {
+				start = c
+				break
+			}
+		}
+		placed = append(placed, placedTask{start: start, end: start + d, procs: k})
+		sched.Add(schedule.Assignment{TaskID: t.ID, Start: start, NProcs: k, Duration: d})
+	}
+	assignProcessors(sched)
+
+	switch objective {
+	case Makespan:
+		return sched, sched.Makespan()
+	default:
+		return sched, sched.WeightedCompletion(inst)
+	}
+}
+
+// capacityFree returns the minimum number of free processors over the
+// window [start, end) given the already placed tasks.
+func capacityFree(placed []placedTask, start, end float64, m int) int {
+	// The used capacity only changes at task starts; evaluate at the window
+	// start and at every task start inside the window.
+	points := []float64{start}
+	for _, p := range placed {
+		if p.start > start+moldable.Eps && p.start < end-moldable.Eps {
+			points = append(points, p.start)
+		}
+	}
+	free := m
+	for _, pt := range points {
+		used := 0
+		for _, q := range placed {
+			if q.start <= pt+moldable.Eps && q.end > pt+moldable.Eps {
+				used += q.procs
+			}
+		}
+		if m-used < free {
+			free = m - used
+		}
+	}
+	return free
+}
+
+// assignProcessors gives every assignment an explicit processor set with a
+// sweep in start-time order; this always succeeds for a capacity-feasible
+// schedule of interval tasks.
+func assignProcessors(s *schedule.Schedule) {
+	order := make([]int, len(s.Assignments))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Assignments[order[a]].Start < s.Assignments[order[b]].Start
+	})
+	freeAt := make([]float64, s.M)
+	for _, i := range order {
+		a := &s.Assignments[i]
+		var procs []int
+		for p := 0; p < s.M && len(procs) < a.NProcs; p++ {
+			if freeAt[p] <= a.Start+moldable.Eps {
+				procs = append(procs, p)
+			}
+		}
+		a.Procs = procs
+		for _, p := range procs {
+			freeAt[p] = a.End()
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"bicriteria/internal/workload"
+)
+
+func ablationTestConfig() AblationConfig {
+	return AblationConfig{Workload: workload.Cirne, M: 12, N: 12, Runs: 2, Seed: 3}
+}
+
+func TestRunSelectionAblation(t *testing.T) {
+	rows, err := RunSelectionAblation(ablationTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 variants, got %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.MinsumRatio.Mean < 1-1e-6 || row.CmaxRatio.Mean < 1-1e-6 {
+			t.Fatalf("%s: ratios below 1: %+v", row.Variant, row)
+		}
+		if row.AvgTime <= 0 {
+			t.Fatalf("%s: missing timing", row.Variant)
+		}
+	}
+	out := FormatAblation("A1 selection", ablationTestConfig(), rows)
+	if !strings.Contains(out, "selection=knapsack") || !strings.Contains(out, "selection=greedy") {
+		t.Fatalf("table missing variants:\n%s", out)
+	}
+}
+
+func TestRunCompactionAblation(t *testing.T) {
+	rows, err := RunCompactionAblation(ablationTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 variants, got %d", len(rows))
+	}
+	// The list-based compactions must not be worse than no compaction on
+	// the makespan (they re-pack the same allotments greedily).
+	var none, list float64
+	for _, row := range rows {
+		switch row.Variant {
+		case "compaction=none":
+			none = row.CmaxRatio.Mean
+		case "compaction=list":
+			list = row.CmaxRatio.Mean
+		}
+	}
+	if list > none+1e-6 {
+		t.Fatalf("list compaction (%.3f) should not be worse than none (%.3f)", list, none)
+	}
+}
+
+func TestRunBoundAblation(t *testing.T) {
+	rows, err := RunBoundAblation(ablationTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(rows))
+	}
+	var squashed, lp, both float64
+	for _, row := range rows {
+		switch row.Variant {
+		case "bound=squashed-area":
+			squashed = row.Value
+		case "bound=lp-relaxation":
+			lp = row.Value
+		case "bound=max(both)":
+			both = row.Value
+		}
+	}
+	if squashed <= 0 || lp <= 0 || both <= 0 {
+		t.Fatalf("bound values missing: %+v", rows)
+	}
+	// The combined bound dominates each individual bound on average.
+	if both < squashed-1e-6 || both < lp-1e-6 {
+		t.Fatalf("max bound (%.2f) below components (%.2f, %.2f)", both, squashed, lp)
+	}
+	out := FormatAblation("A3 bounds", ablationTestConfig(), rows)
+	if !strings.Contains(out, "bound=max(both)") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+}
+
+func TestAblationDefaults(t *testing.T) {
+	cfg := AblationConfig{}.withDefaults()
+	if cfg.M != 64 || cfg.N != 80 || cfg.Runs != 10 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bicriteria/internal/workload"
+)
+
+// smallConfig keeps unit tests fast: a small machine, few tasks, few runs.
+func smallConfig(kind workload.Kind) Config {
+	return Config{
+		Workload:          kind,
+		M:                 16,
+		TaskCounts:        []int{8, 16},
+		Runs:              3,
+		Seed:              42,
+		ValidateSchedules: true,
+	}
+}
+
+func TestRunAllAlgorithmsSmall(t *testing.T) {
+	res, err := Run(smallConfig(workload.HighlyParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(Algorithms()) {
+		t.Fatalf("expected %d series, got %d", len(Algorithms()), len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: expected 2 points, got %d", s.Algorithm, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.CmaxRatio.Mean < 1-1e-6 {
+				t.Fatalf("%s n=%d: makespan ratio %.3f below 1 (bound not a lower bound?)", s.Algorithm, p.N, p.CmaxRatio.Mean)
+			}
+			if p.MinsumRatio.Mean < 1-1e-6 {
+				t.Fatalf("%s n=%d: minsum ratio %.3f below 1", s.Algorithm, p.N, p.MinsumRatio.Mean)
+			}
+			if p.CmaxRatio.Count != 3 || p.MinsumRatio.Count != 3 {
+				t.Fatalf("%s n=%d: wrong observation count", s.Algorithm, p.N)
+			}
+			if p.CmaxRatio.Min > p.CmaxRatio.Mean+1e-9 || p.CmaxRatio.Max < p.CmaxRatio.Mean-1e-9 {
+				t.Fatalf("%s n=%d: ratio-of-sums outside [min,max]", s.Algorithm, p.N)
+			}
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("elapsed time not recorded")
+	}
+}
+
+func TestRunWithLPBound(t *testing.T) {
+	cfg := smallConfig(workload.Mixed)
+	cfg.UseLPBound = true
+	cfg.TaskCounts = []int{6}
+	cfg.Runs = 2
+	cfg.Algorithms = []Algorithm{AlgDEMT, AlgListSAF}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.MinsumRatio.Mean < 1-1e-6 {
+				t.Fatalf("%s: LP-bound ratio below 1: %.3f", s.Algorithm, p.MinsumRatio.Mean)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallConfig(workload.Cirne)
+	cfg.Algorithms = []Algorithm{AlgDEMT}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range a.Series[0].Points {
+		pa, pb := a.Series[0].Points[pi], b.Series[0].Points[pi]
+		if pa.CmaxRatio.Mean != pb.CmaxRatio.Mean || pa.MinsumRatio.Mean != pb.MinsumRatio.Mean {
+			t.Fatalf("same seed must give same ratios")
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig(workload.Mixed)
+	cfg.Runs = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("negative runs must fail")
+	}
+	cfg = smallConfig(workload.Mixed)
+	cfg.Algorithms = []Algorithm{"nonsense"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatalf("unknown algorithm must fail")
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(string(a))
+		if err != nil || got != a {
+			t.Fatalf("round trip failed for %s", a)
+		}
+	}
+	if _, err := ParseAlgorithm("frobnicate"); err == nil {
+		t.Fatalf("unknown algorithm must fail")
+	}
+}
+
+func TestFigureConfig(t *testing.T) {
+	wantKinds := map[int]workload.Kind{
+		3: workload.WeaklyParallel,
+		4: workload.HighlyParallel,
+		5: workload.Mixed,
+		6: workload.Cirne,
+		7: workload.WeaklyParallel,
+	}
+	for fig, kind := range wantKinds {
+		cfg, err := FigureConfig(fig, 5, 1, false)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if cfg.Workload != kind {
+			t.Fatalf("figure %d: workload %v, want %v", fig, cfg.Workload, kind)
+		}
+		if cfg.Runs != 5 {
+			t.Fatalf("figure %d: runs not propagated", fig)
+		}
+	}
+	if cfg, _ := FigureConfig(7, 5, 1, false); len(cfg.Algorithms) != 1 || cfg.Algorithms[0] != AlgDEMT {
+		t.Fatalf("figure 7 should only time DEMT")
+	}
+	if _, err := FigureConfig(12, 5, 1, false); err == nil {
+		t.Fatalf("unknown figure must fail")
+	}
+}
+
+func TestFormatTableAndCSV(t *testing.T) {
+	cfg := smallConfig(workload.WeaklyParallel)
+	cfg.Algorithms = []Algorithm{AlgDEMT, AlgGang}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatTable(res)
+	for _, want := range []string{"Weighted minsum ratio", "Makespan ratio", "demt", "gang", "weakly-parallel"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 2 algorithms * 2 points.
+	if len(lines) != 1+2*2 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "workload,algorithm,n") {
+		t.Fatalf("CSV header wrong: %s", lines[0])
+	}
+}
+
+func TestSeriesForAndMaxRatio(t *testing.T) {
+	cfg := smallConfig(workload.HighlyParallel)
+	cfg.Algorithms = []Algorithm{AlgDEMT}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeriesFor(AlgDEMT) == nil {
+		t.Fatalf("missing DEMT series")
+	}
+	if res.SeriesFor(AlgGang) != nil {
+		t.Fatalf("gang series should be absent")
+	}
+	maxMinsum, err := res.MaxRatio(AlgDEMT, "minsum")
+	if err != nil || maxMinsum < 1 {
+		t.Fatalf("MaxRatio minsum = %g, %v", maxMinsum, err)
+	}
+	maxCmax, err := res.MaxRatio(AlgDEMT, "cmax")
+	if err != nil || maxCmax < 1 {
+		t.Fatalf("MaxRatio cmax = %g, %v", maxCmax, err)
+	}
+	if _, err := res.MaxRatio(AlgGang, "cmax"); err == nil {
+		t.Fatalf("MaxRatio on a missing series must fail")
+	}
+}
+
+// TestQualitativeShapesSmallScale checks, on a scaled-down version of the
+// paper's setting, the qualitative claims of section 4.2: DEMT stays
+// bounded on both criteria, and on highly parallel workloads it is at least
+// competitive with the list baselines on the minsum criterion while gang is
+// poor on weakly parallel workloads.
+func TestQualitativeShapesSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the shape test in -short mode")
+	}
+	weak, err := Run(Config{
+		Workload: workload.WeaklyParallel, M: 32, TaskCounts: []int{20, 40}, Runs: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(Config{
+		Workload: workload.HighlyParallel, M: 32, TaskCounts: []int{20, 40}, Runs: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// DEMT's makespan ratio stays bounded (paper: "no more than 2"; allow
+	// slack for the scaled-down machine).
+	if worst, _ := weak.MaxRatio(AlgDEMT, "cmax"); worst > 3.0 {
+		t.Fatalf("DEMT makespan ratio too large on weakly parallel: %.2f", worst)
+	}
+	if worst, _ := high.MaxRatio(AlgDEMT, "cmax"); worst > 3.0 {
+		t.Fatalf("DEMT makespan ratio too large on highly parallel: %.2f", worst)
+	}
+	// Gang is much worse than DEMT on weakly parallel tasks (Cmax).
+	gangWorst, _ := weak.MaxRatio(AlgGang, "cmax")
+	demtWorst, _ := weak.MaxRatio(AlgDEMT, "cmax")
+	if gangWorst < 2*demtWorst {
+		t.Fatalf("gang should be far worse than DEMT on weakly parallel tasks: gang %.2f vs demt %.2f", gangWorst, demtWorst)
+	}
+}

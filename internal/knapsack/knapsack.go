@@ -1,0 +1,142 @@
+// Package knapsack provides the 0/1 knapsack dynamic program used by the
+// DEMT algorithm to select the tasks of each batch (maximize the total
+// weight of the selected tasks under the m-processor budget) and by the
+// dual-approximation two-shelf construction (minimize the work moved to the
+// second shelf under the first-shelf processor budget).
+package knapsack
+
+import (
+	"fmt"
+	"math"
+)
+
+// Item is a candidate for selection.
+type Item struct {
+	// Cost is the integer resource consumption (number of processors).
+	Cost int
+	// Value is the profit of selecting the item (task weight).
+	Value float64
+}
+
+// Result is the outcome of a knapsack optimization.
+type Result struct {
+	// Selected holds the indices (into the input slice) of chosen items, in
+	// increasing order.
+	Selected []int
+	// TotalValue is the sum of the selected items' values.
+	TotalValue float64
+	// TotalCost is the sum of the selected items' costs.
+	TotalCost int
+}
+
+// MaxValue solves the 0/1 knapsack problem: choose a subset of items with
+// total cost at most capacity maximizing the total value. Items with cost
+// larger than the capacity are never selected; items with non-positive cost
+// are rejected with an error (the scheduling use-cases always have cost >= 1).
+//
+// The dynamic program runs in O(n * capacity) time and space, matching the
+// O(mn) complexity quoted in section 3.2 of the paper.
+func MaxValue(items []Item, capacity int) (*Result, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("knapsack: negative capacity %d", capacity)
+	}
+	for i, it := range items {
+		if it.Cost <= 0 {
+			return nil, fmt.Errorf("knapsack: item %d has non-positive cost %d", i, it.Cost)
+		}
+		if math.IsNaN(it.Value) || math.IsInf(it.Value, 0) || it.Value < 0 {
+			return nil, fmt.Errorf("knapsack: item %d has invalid value %g", i, it.Value)
+		}
+	}
+	n := len(items)
+	// best[j] = max value achievable with capacity j considering the first i
+	// items; take[i][j] records whether item i is taken at capacity j.
+	best := make([]float64, capacity+1)
+	take := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		take[i] = make([]bool, capacity+1)
+		it := items[i]
+		if it.Cost > capacity {
+			continue
+		}
+		for j := capacity; j >= it.Cost; j-- {
+			if cand := best[j-it.Cost] + it.Value; cand > best[j]+1e-12 {
+				best[j] = cand
+				take[i][j] = true
+			}
+		}
+	}
+	res := &Result{TotalValue: best[capacity]}
+	// Reconstruct the selection from the last item backwards.
+	j := capacity
+	for i := n - 1; i >= 0; i-- {
+		if j >= 0 && take[i][j] {
+			res.Selected = append(res.Selected, i)
+			res.TotalCost += items[i].Cost
+			j -= items[i].Cost
+		}
+	}
+	// Reverse to increasing index order.
+	for a, b := 0, len(res.Selected)-1; a < b; a, b = a+1, b-1 {
+		res.Selected[a], res.Selected[b] = res.Selected[b], res.Selected[a]
+	}
+	return res, nil
+}
+
+// MinCostPartition solves the two-shelf assignment problem used by the
+// dual-approximation algorithm: each item must go either to shelf 1 (using
+// cost1[i] processors of the shelf-1 budget, incurring work1[i]) or to
+// shelf 2 (incurring work2[i], no shelf-1 processors). Items with
+// work2[i] = +Inf are forced to shelf 1. The function minimizes the total
+// work subject to the shelf-1 processor budget and returns, for each item,
+// whether it is placed on shelf 1.
+//
+// It returns an error when the forced items alone exceed the budget or an
+// item cannot be placed anywhere.
+func MinCostPartition(cost1 []int, work1, work2 []float64, budget int) (shelf1 []bool, totalWork float64, err error) {
+	n := len(cost1)
+	if len(work1) != n || len(work2) != n {
+		return nil, 0, fmt.Errorf("knapsack: inconsistent slice lengths %d/%d/%d", len(cost1), len(work1), len(work2))
+	}
+	if budget < 0 {
+		return nil, 0, fmt.Errorf("knapsack: negative budget %d", budget)
+	}
+	const inf = math.MaxFloat64 / 4
+	// dp[j] = minimal total work using at most j shelf-1 processors.
+	dp := make([]float64, budget+1)
+	choice := make([][]bool, n) // choice[i][j]: item i on shelf 1 when budget j
+	for i := 0; i < n; i++ {
+		choice[i] = make([]bool, budget+1)
+		next := make([]float64, budget+1)
+		for j := 0; j <= budget; j++ {
+			bestVal := inf
+			onShelf1 := false
+			// Option shelf 2 (only when finite work2).
+			if !math.IsInf(work2[i], 1) {
+				bestVal = dp[j] + work2[i]
+			}
+			// Option shelf 1.
+			if cost1[i] <= j {
+				if cand := dp[j-cost1[i]] + work1[i]; cand < bestVal {
+					bestVal = cand
+					onShelf1 = true
+				}
+			}
+			next[j] = bestVal
+			choice[i][j] = onShelf1
+		}
+		dp = next
+	}
+	if dp[budget] >= inf {
+		return nil, 0, fmt.Errorf("knapsack: no feasible two-shelf partition within budget %d", budget)
+	}
+	shelf1 = make([]bool, n)
+	j := budget
+	for i := n - 1; i >= 0; i-- {
+		shelf1[i] = choice[i][j]
+		if shelf1[i] {
+			j -= cost1[i]
+		}
+	}
+	return shelf1, dp[budget], nil
+}

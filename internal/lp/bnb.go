@@ -1,0 +1,123 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinaryOptions tunes SolveBinary.
+type BinaryOptions struct {
+	// MaxNodes bounds the number of branch-and-bound nodes explored
+	// (default 10000).
+	MaxNodes int
+	// LP carries the options used for every LP relaxation.
+	LP *Options
+}
+
+// BinarySolution is the result of SolveBinary.
+type BinarySolution struct {
+	Status Status
+	// X is the best integral assignment found (values 0 or 1).
+	X []float64
+	// Objective is its cost.
+	Objective float64
+	// Nodes is the number of explored branch-and-bound nodes.
+	Nodes int
+	// Proven reports whether the returned solution is proven optimal (the
+	// search completed within MaxNodes).
+	Proven bool
+}
+
+// SolveBinary minimizes the problem with every variable restricted to
+// {0, 1}, using LP-relaxation branch and bound. It is intended for small
+// instances (tests and exact reference values for the lower bound), not for
+// production-size problems.
+func SolveBinary(p *Problem, opts *BinaryOptions) (*BinarySolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := 10000
+	var lpOpts *Options
+	if opts != nil {
+		if opts.MaxNodes > 0 {
+			maxNodes = opts.MaxNodes
+		}
+		lpOpts = opts.LP
+	}
+
+	best := &BinarySolution{Status: Infeasible, Objective: math.Inf(1)}
+	type node struct {
+		fixed map[int]float64
+	}
+	stack := []node{{fixed: map[int]float64{}}}
+
+	for len(stack) > 0 && best.Nodes < maxNodes {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		best.Nodes++
+
+		rel := relaxWithBounds(p, nd.fixed)
+		sol, err := Solve(rel, lpOpts)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == Unbounded {
+			return nil, fmt.Errorf("lp: binary relaxation unbounded, the model is malformed")
+		}
+		if sol.Status != Optimal {
+			continue // infeasible or iteration limit: prune
+		}
+		if sol.Objective >= best.Objective-1e-9 {
+			continue // bound prune
+		}
+		// Find the most fractional variable.
+		branchVar, frac := -1, 0.0
+		for j := 0; j < p.NumVars; j++ {
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f > 1e-6 && f > frac {
+				frac = f
+				branchVar = j
+			}
+		}
+		if branchVar < 0 {
+			// Integral solution.
+			x := make([]float64, p.NumVars)
+			for j := range x {
+				x[j] = math.Round(sol.X[j])
+			}
+			best.Status = Optimal
+			best.X = x
+			best.Objective = sol.Objective
+			continue
+		}
+		for _, v := range []float64{1, 0} {
+			child := map[int]float64{}
+			for k, val := range nd.fixed {
+				child[k] = val
+			}
+			child[branchVar] = v
+			stack = append(stack, node{fixed: child})
+		}
+	}
+	best.Proven = len(stack) == 0 && best.Nodes <= maxNodes
+	return best, nil
+}
+
+// relaxWithBounds builds the LP relaxation of the binary problem with the
+// given variables fixed: every variable gets an x <= 1 row, and fixed
+// variables get an equality row.
+func relaxWithBounds(p *Problem, fixed map[int]float64) *Problem {
+	rel := NewProblem(p.NumVars)
+	copy(rel.Objective, p.Objective)
+	rel.Constraints = append(rel.Constraints, p.Constraints...)
+	for j := 0; j < p.NumVars; j++ {
+		coeffs := make([]float64, j+1)
+		coeffs[j] = 1
+		if v, ok := fixed[j]; ok {
+			rel.AddConstraint(coeffs, EQ, v)
+		} else {
+			rel.AddConstraint(coeffs, LE, 1)
+		}
+	}
+	return rel
+}

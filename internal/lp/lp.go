@@ -1,0 +1,221 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in inequality form. It is the substrate behind the paper's
+// minsum lower bound (section 3.3), which relaxes an integer linear program
+// into an LP. Only the Go standard library is used.
+//
+// The solver targets the moderate problem sizes produced by the lower
+// bound: a few hundred rows and a few thousand columns. It uses the
+// classical tableau form with Dantzig pricing and an automatic switch to
+// Bland's rule to escape degenerate cycling.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+const (
+	// LE is "less than or equal".
+	LE Sense = iota
+	// GE is "greater than or equal".
+	GE
+	// EQ is "equal".
+	EQ
+)
+
+// String returns the usual mathematical symbol of the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Constraint is one row of the LP: Coeffs . x  (Sense)  RHS.
+// Coeffs may be shorter than the number of variables; missing entries are
+// treated as zero.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program: minimize Objective . x subject to the
+// constraints and x >= 0.
+//
+// Variables are implicitly non-negative; general bounds can be encoded as
+// extra constraints by the caller.
+type Problem struct {
+	// NumVars is the number of structural variables.
+	NumVars int
+	// Objective holds the cost of each variable (minimization).
+	Objective []float64
+	// Constraints are the rows of the program.
+	Constraints []Constraint
+}
+
+// NewProblem allocates a problem with n variables and a zero objective.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, Objective: make([]float64, n)}
+}
+
+// SetObjective sets the cost of variable j.
+func (p *Problem) SetObjective(j int, cost float64) {
+	p.Objective[j] = cost
+}
+
+// AddConstraint appends a constraint row.
+func (p *Problem) AddConstraint(coeffs []float64, sense Sense, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs})
+}
+
+// Validate checks structural sanity of the problem.
+func (p *Problem) Validate() error {
+	if p.NumVars < 1 {
+		return fmt.Errorf("lp: problem needs at least one variable")
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d entries for %d variables", len(p.Objective), p.NumVars)
+	}
+	for j, c := range p.Objective {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("lp: invalid objective coefficient %g for variable %d", c, j)
+		}
+	}
+	for i, row := range p.Constraints {
+		if len(row.Coeffs) > p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(row.Coeffs), p.NumVars)
+		}
+		if math.IsNaN(row.RHS) || math.IsInf(row.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has invalid RHS %g", i, row.RHS)
+		}
+		for j, c := range row.Coeffs {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("lp: constraint %d has invalid coefficient %g at variable %d", i, c, j)
+			}
+		}
+		switch row.Sense {
+		case LE, GE, EQ:
+		default:
+			return fmt.Errorf("lp: constraint %d has unknown sense %d", i, int(row.Sense))
+		}
+	}
+	return nil
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective can decrease without bound.
+	Unbounded
+	// IterationLimit: the solver gave up after too many pivots.
+	IterationLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	// X holds the value of each structural variable (only meaningful when
+	// Status == Optimal).
+	X []float64
+	// Objective is the objective value of X.
+	Objective float64
+	// Iterations is the total number of simplex pivots performed.
+	Iterations int
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIterations bounds the total number of pivots (default: 50 times
+	// the number of rows plus columns).
+	MaxIterations int
+	// Tolerance is the numerical tolerance on reduced costs and pivots
+	// (default 1e-9).
+	Tolerance float64
+}
+
+const defaultTolerance = 1e-9
+
+// Solve optimizes the problem with the two-phase primal simplex method.
+func Solve(p *Problem, opts *Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tol := defaultTolerance
+	maxIter := 0
+	if opts != nil {
+		if opts.Tolerance > 0 {
+			tol = opts.Tolerance
+		}
+		maxIter = opts.MaxIterations
+	}
+
+	t := newTableau(p, tol)
+	if maxIter <= 0 {
+		maxIter = 50 * (t.rows + t.cols)
+	}
+
+	sol := &Solution{}
+
+	// Phase 1: drive the artificial variables to zero.
+	if t.numArtificial > 0 {
+		t.setPhase1Objective()
+		status, iters := t.iterate(maxIter, true)
+		sol.Iterations += iters
+		if status == IterationLimit {
+			sol.Status = IterationLimit
+			return sol, nil
+		}
+		if t.objectiveValue() > 1e-6 {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		t.removeArtificialsFromBasis()
+	}
+
+	// Phase 2: optimize the real objective.
+	t.setPhase2Objective(p)
+	status, iters := t.iterate(maxIter, false)
+	sol.Iterations += iters
+	sol.Status = status
+	if status != Optimal {
+		return sol, nil
+	}
+	sol.X = t.extractSolution(p.NumVars)
+	obj := 0.0
+	for j := 0; j < p.NumVars; j++ {
+		obj += p.Objective[j] * sol.X[j]
+	}
+	sol.Objective = obj
+	return sol, nil
+}

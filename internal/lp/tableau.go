@@ -1,0 +1,316 @@
+package lp
+
+import "math"
+
+// tableau is the dense simplex tableau shared by both phases.
+type tableau struct {
+	rows, cols    int
+	a             [][]float64 // rows x cols constraint matrix (updated in place)
+	b             []float64   // right-hand side, kept non-negative
+	obj           []float64   // reduced-cost row for the current phase
+	phaseCost     []float64   // original cost of each column for the current phase
+	basis         []int       // basic column of each row
+	numStructural int
+	numArtificial int
+	artStart      int // first artificial column index
+	tol           float64
+}
+
+// newTableau builds the standard-form tableau: slack/surplus columns for
+// inequality rows and artificial columns for >=/= rows, with a feasible
+// starting basis.
+func newTableau(p *Problem, tol float64) *tableau {
+	n := p.NumVars
+	m := len(p.Constraints)
+
+	// Normalize rows to non-negative RHS and count auxiliary columns.
+	type rowInfo struct {
+		coeffs []float64
+		sense  Sense
+		rhs    float64
+	}
+	rowsInfo := make([]rowInfo, m)
+	numSlack, numArt := 0, 0
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		sense := c.Sense
+		rhs := c.RHS
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rowsInfo[i] = rowInfo{coeffs, sense, rhs}
+		switch sense {
+		case LE, GE:
+			numSlack++
+		}
+		if sense == GE || sense == EQ {
+			numArt++
+		}
+	}
+
+	t := &tableau{
+		rows:          m,
+		cols:          n + numSlack + numArt,
+		numStructural: n,
+		numArtificial: numArt,
+		artStart:      n + numSlack,
+		tol:           tol,
+	}
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+	t.obj = make([]float64, t.cols)
+	t.phaseCost = make([]float64, t.cols)
+
+	slackCol := n
+	artCol := t.artStart
+	for i, ri := range rowsInfo {
+		row := make([]float64, t.cols)
+		copy(row, ri.coeffs)
+		t.b[i] = ri.rhs
+		switch ri.sense {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+// setPhase1Objective installs the auxiliary objective (sum of artificials)
+// and prices out the initial basis.
+func (t *tableau) setPhase1Objective() {
+	for j := range t.phaseCost {
+		if j >= t.artStart {
+			t.phaseCost[j] = 1
+		} else {
+			t.phaseCost[j] = 0
+		}
+	}
+	t.recomputeReducedCosts()
+}
+
+// setPhase2Objective installs the real objective. Artificial columns keep a
+// zero cost but are excluded from entering the basis by iterate().
+func (t *tableau) setPhase2Objective(p *Problem) {
+	for j := range t.phaseCost {
+		switch {
+		case j < t.numStructural:
+			t.phaseCost[j] = p.Objective[j]
+		default:
+			t.phaseCost[j] = 0
+		}
+	}
+	t.recomputeReducedCosts()
+}
+
+// recomputeReducedCosts prices every column against the current basis:
+// obj[j] = c_j - sum_i c_basis(i) * a[i][j].
+func (t *tableau) recomputeReducedCosts() {
+	copy(t.obj, t.phaseCost)
+	for i := 0; i < t.rows; i++ {
+		cb := t.phaseCost[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			t.obj[j] -= cb * row[j]
+		}
+	}
+}
+
+// objectiveValue returns the current objective of the basic solution.
+func (t *tableau) objectiveValue() float64 {
+	v := 0.0
+	for i := 0; i < t.rows; i++ {
+		v += t.phaseCost[t.basis[i]] * t.b[i]
+	}
+	return v
+}
+
+// iterate runs simplex pivots until optimality, unboundedness or the
+// iteration limit. Artificial columns may enter the basis only during
+// phase 1 (allowArtificial).
+func (t *tableau) iterate(maxIter int, allowArtificial bool) (Status, int) {
+	iters := 0
+	degenerate := 0
+	useBland := false
+	for ; iters < maxIter; iters++ {
+		enter := t.chooseEntering(allowArtificial, useBland)
+		if enter < 0 {
+			return Optimal, iters
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			return Unbounded, iters
+		}
+		if t.b[leave]/t.a[leave][enter] < t.tol {
+			degenerate++
+			if degenerate > 64 {
+				useBland = true
+			}
+		} else {
+			degenerate = 0
+			useBland = false
+		}
+		t.pivot(leave, enter)
+	}
+	return IterationLimit, iters
+}
+
+// chooseEntering picks the entering column: Dantzig's most negative reduced
+// cost, or the smallest eligible index under Bland's rule.
+func (t *tableau) chooseEntering(allowArtificial, useBland bool) int {
+	limit := t.cols
+	if !allowArtificial {
+		limit = t.artStart
+	}
+	best := -1
+	bestVal := -t.tol
+	for j := 0; j < limit; j++ {
+		if t.obj[j] < bestVal {
+			if useBland {
+				return j
+			}
+			best = j
+			bestVal = t.obj[j]
+		}
+	}
+	return best
+}
+
+// chooseLeaving performs the ratio test for the entering column, breaking
+// ties on the smallest basic variable index (lexicographic safeguard).
+func (t *tableau) chooseLeaving(enter int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.rows; i++ {
+		pivot := t.a[i][enter]
+		if pivot <= t.tol {
+			continue
+		}
+		ratio := t.b[i] / pivot
+		if ratio < bestRatio-t.tol || (ratio < bestRatio+t.tol && (best < 0 || t.basis[i] < t.basis[best])) {
+			best = i
+			bestRatio = ratio
+		}
+	}
+	return best
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	pivotVal := t.a[leave][enter]
+	rowL := t.a[leave]
+	inv := 1 / pivotVal
+	for j := 0; j < t.cols; j++ {
+		rowL[j] *= inv
+	}
+	t.b[leave] *= inv
+	if t.b[leave] < 0 && t.b[leave] > -1e-11 {
+		t.b[leave] = 0
+	}
+	rowL[enter] = 1 // kill round-off on the pivot element
+
+	for i := 0; i < t.rows; i++ {
+		if i == leave {
+			continue
+		}
+		factor := t.a[i][enter]
+		if factor == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			row[j] -= factor * rowL[j]
+		}
+		row[enter] = 0
+		t.b[i] -= factor * t.b[leave]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	factor := t.obj[enter]
+	if factor != 0 {
+		for j := 0; j < t.cols; j++ {
+			t.obj[j] -= factor * rowL[j]
+		}
+		t.obj[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// removeArtificialsFromBasis pivots zero-valued artificial variables out of
+// the basis after phase 1; rows whose artificial cannot be pivoted out are
+// redundant and dropped from the tableau.
+func (t *tableau) removeArtificialsFromBasis() {
+	keep := make([]bool, t.rows)
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := 0; i < t.rows; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		pivotCol := -1
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > t.tol {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+		} else {
+			keep[i] = false // redundant constraint
+		}
+	}
+	// Compact rows if any redundant constraint was found.
+	newRows := 0
+	for i := 0; i < t.rows; i++ {
+		if keep[i] {
+			t.a[newRows] = t.a[i]
+			t.b[newRows] = t.b[i]
+			t.basis[newRows] = t.basis[i]
+			newRows++
+		}
+	}
+	t.a = t.a[:newRows]
+	t.b = t.b[:newRows]
+	t.basis = t.basis[:newRows]
+	t.rows = newRows
+}
+
+// extractSolution reads the values of the first n structural variables.
+func (t *tableau) extractSolution(n int) []float64 {
+	x := make([]float64, n)
+	for i := 0; i < t.rows; i++ {
+		if t.basis[i] < n {
+			x[t.basis[i]] = t.b[i]
+		}
+	}
+	return x
+}

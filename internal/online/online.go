@@ -1,0 +1,142 @@
+// Package online implements the on-line batch framework discussed in
+// section 2.2 of the paper (after Shmoys, Wein and Williamson): jobs are
+// submitted over time, an arriving job is deferred to the next batch, and
+// each batch is scheduled with an off-line algorithm (DEMT or any baseline).
+// If the off-line algorithm is a rho-approximation for the makespan, the
+// resulting on-line algorithm is 2*rho-competitive.
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/schedule"
+)
+
+// Job is a moldable task together with its submission (release) date.
+type Job struct {
+	Task    moldable.Task
+	Release float64
+}
+
+// OfflineScheduler is any algorithm that schedules an off-line instance
+// (all tasks available at time 0). The DEMT scheduler and every baseline of
+// this library can be wrapped into this signature.
+type OfflineScheduler func(inst *moldable.Instance) (*schedule.Schedule, error)
+
+// BatchTrace describes one executed batch.
+type BatchTrace struct {
+	// Index is the batch number (0-based).
+	Index int
+	// Start is the time at which the batch begins executing.
+	Start float64
+	// Makespan is the length of the batch schedule.
+	Makespan float64
+	// TaskIDs lists the jobs scheduled in this batch.
+	TaskIDs []int
+}
+
+// Result is the outcome of the on-line simulation.
+type Result struct {
+	// Schedule is the complete schedule (starts are absolute times).
+	Schedule *schedule.Schedule
+	// Batches describes every batch in execution order.
+	Batches []BatchTrace
+	// Makespan is the completion time of the last job.
+	Makespan float64
+	// MaxFlow is the maximum flow time (completion minus release) over jobs.
+	MaxFlow float64
+	// WeightedCompletion is sum(w_i * C_i) with absolute completion times.
+	WeightedCompletion float64
+}
+
+// Schedule runs the batch framework: at each step, all jobs released before
+// the current time form the next batch; the batch is scheduled off-line and
+// executed to completion before the following batch starts.
+func Schedule(m int, jobs []Job, offline OfflineScheduler) (*Result, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("online: machine needs at least one processor")
+	}
+	if offline == nil {
+		return nil, fmt.Errorf("online: nil off-line scheduler")
+	}
+	if len(jobs) == 0 {
+		return &Result{Schedule: schedule.New(m)}, nil
+	}
+	for i := range jobs {
+		if err := jobs[i].Task.Validate(); err != nil {
+			return nil, err
+		}
+		if jobs[i].Release < 0 {
+			return nil, fmt.Errorf("online: job %d has negative release date", jobs[i].Task.ID)
+		}
+	}
+
+	pending := make([]Job, len(jobs))
+	copy(pending, jobs)
+	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Release < pending[b].Release })
+
+	res := &Result{Schedule: schedule.New(m)}
+	releases := make(map[int]float64, len(jobs))
+	weights := make(map[int]float64, len(jobs))
+	for _, j := range jobs {
+		releases[j.Task.ID] = j.Release
+		weights[j.Task.ID] = j.Task.Weight
+	}
+
+	now := 0.0
+	next := 0
+	batchIndex := 0
+	for next < len(pending) {
+		if pending[next].Release > now {
+			// Idle until the next submission.
+			now = pending[next].Release
+		}
+		var batchTasks []moldable.Task
+		for next < len(pending) && pending[next].Release <= now+moldable.Eps {
+			batchTasks = append(batchTasks, pending[next].Task)
+			next++
+		}
+		inst := moldable.NewInstance(m, batchTasks)
+		sub, err := offline(inst)
+		if err != nil {
+			return nil, fmt.Errorf("online: batch %d: %w", batchIndex, err)
+		}
+		if err := sub.Validate(inst, nil); err != nil {
+			return nil, fmt.Errorf("online: batch %d produced an invalid schedule: %w", batchIndex, err)
+		}
+		trace := BatchTrace{Index: batchIndex, Start: now, Makespan: sub.Makespan()}
+		for _, a := range sub.Assignments {
+			shifted := a
+			shifted.Start += now
+			shifted.Procs = append([]int(nil), a.Procs...)
+			res.Schedule.Add(shifted)
+			trace.TaskIDs = append(trace.TaskIDs, a.TaskID)
+		}
+		sort.Ints(trace.TaskIDs)
+		res.Batches = append(res.Batches, trace)
+		now += sub.Makespan()
+		batchIndex++
+	}
+
+	res.Makespan = res.Schedule.Makespan()
+	for _, a := range res.Schedule.Assignments {
+		flow := a.End() - releases[a.TaskID]
+		if flow > res.MaxFlow {
+			res.MaxFlow = flow
+		}
+		res.WeightedCompletion += weights[a.TaskID] * a.End()
+	}
+	return res, nil
+}
+
+// ReleaseDates extracts the release-date map of a job list, for use with
+// schedule validation.
+func ReleaseDates(jobs []Job) map[int]float64 {
+	out := make(map[int]float64, len(jobs))
+	for _, j := range jobs {
+		out[j.Task.ID] = j.Release
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+// Package schedule provides the representation of a schedule for moldable
+// tasks on a homogeneous cluster, together with validation, the two criteria
+// studied by the paper (makespan and weighted sum of completion times) and a
+// textual Gantt-chart renderer.
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bicriteria/internal/moldable"
+)
+
+// Assignment is the placement decision for a single task: the allocation
+// size chosen by the scheduler, the start time and the explicit set of
+// processors the task runs on.
+type Assignment struct {
+	// TaskID refers to a task of the scheduled instance.
+	TaskID int
+	// Start is the start time of the task (>= 0, or >= its release date in
+	// the on-line setting).
+	Start float64
+	// NProcs is the number of processors allotted to the task.
+	NProcs int
+	// Procs lists the processor indices (in [0, M)) executing the task.
+	// When non-nil its length must equal NProcs. Schedulers in this library
+	// always fill it so that per-processor validation is possible.
+	Procs []int
+	// Duration is the processing time of the task under this allocation; it
+	// must equal task.Time(NProcs).
+	Duration float64
+}
+
+// End returns the completion time of the assignment.
+func (a Assignment) End() float64 { return a.Start + a.Duration }
+
+// Schedule is a complete mapping of an instance's tasks onto the machine.
+type Schedule struct {
+	// M is the number of processors of the target machine.
+	M int
+	// Assignments holds exactly one entry per task of the instance.
+	Assignments []Assignment
+}
+
+// New returns an empty schedule for an m-processor machine.
+func New(m int) *Schedule { return &Schedule{M: m} }
+
+// Add appends an assignment.
+func (s *Schedule) Add(a Assignment) { s.Assignments = append(s.Assignments, a) }
+
+// Assignment returns the assignment of the given task, or nil when the task
+// is not scheduled.
+func (s *Schedule) Assignment(taskID int) *Assignment {
+	for i := range s.Assignments {
+		if s.Assignments[i].TaskID == taskID {
+			return &s.Assignments[i]
+		}
+	}
+	return nil
+}
+
+// Makespan returns Cmax, the completion time of the last task (0 for an
+// empty schedule).
+func (s *Schedule) Makespan() float64 {
+	cmax := 0.0
+	for i := range s.Assignments {
+		if e := s.Assignments[i].End(); e > cmax {
+			cmax = e
+		}
+	}
+	return cmax
+}
+
+// WeightedCompletion returns the weighted minsum criterion sum(w_i * C_i)
+// for the instance the schedule was built for.
+func (s *Schedule) WeightedCompletion(inst *moldable.Instance) float64 {
+	total := 0.0
+	for i := range s.Assignments {
+		a := &s.Assignments[i]
+		t := inst.Task(a.TaskID)
+		if t == nil {
+			continue
+		}
+		total += t.Weight * a.End()
+	}
+	return total
+}
+
+// SumCompletion returns the unweighted sum of completion times.
+func (s *Schedule) SumCompletion() float64 {
+	total := 0.0
+	for i := range s.Assignments {
+		total += s.Assignments[i].End()
+	}
+	return total
+}
+
+// MaxStretch returns the maximum over tasks of C_i / p_i(min): how much a
+// task is slowed down compared to running alone fully parallel.
+func (s *Schedule) MaxStretch(inst *moldable.Instance) float64 {
+	worst := 0.0
+	for i := range s.Assignments {
+		a := &s.Assignments[i]
+		t := inst.Task(a.TaskID)
+		if t == nil {
+			continue
+		}
+		pmin, _ := t.MinTime()
+		if pmin <= 0 {
+			continue
+		}
+		if st := a.End() / pmin; st > worst {
+			worst = st
+		}
+	}
+	return worst
+}
+
+// TotalWork returns the sum over assignments of NProcs * Duration.
+func (s *Schedule) TotalWork() float64 {
+	total := 0.0
+	for i := range s.Assignments {
+		a := &s.Assignments[i]
+		total += float64(a.NProcs) * a.Duration
+	}
+	return total
+}
+
+// Utilization returns the fraction of the processor-time rectangle
+// [0, Cmax] x M actually used by tasks. It is 0 for an empty schedule.
+func (s *Schedule) Utilization() float64 {
+	cmax := s.Makespan()
+	if cmax <= 0 || s.M == 0 {
+		return 0
+	}
+	return s.TotalWork() / (cmax * float64(s.M))
+}
+
+// IdleTime returns the total processor idle time before the makespan.
+func (s *Schedule) IdleTime() float64 {
+	return s.Makespan()*float64(s.M) - s.TotalWork()
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	cp := &Schedule{M: s.M, Assignments: make([]Assignment, len(s.Assignments))}
+	for i, a := range s.Assignments {
+		a.Procs = append([]int(nil), a.Procs...)
+		cp.Assignments[i] = a
+	}
+	return cp
+}
+
+// ValidateOptions tunes schedule validation.
+type ValidateOptions struct {
+	// ReleaseDates optionally maps task IDs to release dates; when present
+	// each task must not start before its release date.
+	ReleaseDates map[int]float64
+	// AllowMissingTasks skips the "every task is scheduled exactly once"
+	// check (useful for validating partial schedules such as single
+	// batches).
+	AllowMissingTasks bool
+}
+
+// Validate checks that the schedule is feasible for the instance:
+//
+//   - every task of the instance is scheduled exactly once (unless
+//     AllowMissingTasks is set) and no unknown task appears;
+//   - allocation sizes are within [1, task.MaxProcs()] and durations match
+//     the task's processing time for the chosen allocation;
+//   - start times are non-negative (and respect release dates when given);
+//   - explicit processor indices are in range, unique within a task, and no
+//     processor executes two tasks at the same time;
+//   - at every instant at most M processors are busy.
+func (s *Schedule) Validate(inst *moldable.Instance, opts *ValidateOptions) error {
+	if opts == nil {
+		opts = &ValidateOptions{}
+	}
+	if s.M != inst.M {
+		return fmt.Errorf("schedule: machine size mismatch (schedule %d, instance %d)", s.M, inst.M)
+	}
+	seen := make(map[int]int)
+	for i := range s.Assignments {
+		a := &s.Assignments[i]
+		t := inst.Task(a.TaskID)
+		if t == nil {
+			return fmt.Errorf("schedule: assignment %d references unknown task %d", i, a.TaskID)
+		}
+		seen[a.TaskID]++
+		if seen[a.TaskID] > 1 {
+			return fmt.Errorf("schedule: task %d scheduled more than once", a.TaskID)
+		}
+		if a.NProcs < 1 || a.NProcs > t.MaxProcs() {
+			return fmt.Errorf("schedule: task %d allotted %d processors (valid range 1..%d)", a.TaskID, a.NProcs, t.MaxProcs())
+		}
+		if a.NProcs > s.M {
+			return fmt.Errorf("schedule: task %d allotted %d processors but machine has %d", a.TaskID, a.NProcs, s.M)
+		}
+		want := t.Time(a.NProcs)
+		if math.Abs(a.Duration-want) > 1e-6*(1+want) {
+			return fmt.Errorf("schedule: task %d duration %g does not match p(%d)=%g", a.TaskID, a.Duration, a.NProcs, want)
+		}
+		if a.Start < -moldable.Eps {
+			return fmt.Errorf("schedule: task %d starts at negative time %g", a.TaskID, a.Start)
+		}
+		if opts.ReleaseDates != nil {
+			if r, ok := opts.ReleaseDates[a.TaskID]; ok && a.Start < r-1e-6 {
+				return fmt.Errorf("schedule: task %d starts at %g before its release date %g", a.TaskID, a.Start, r)
+			}
+		}
+		if a.Procs != nil {
+			if len(a.Procs) != a.NProcs {
+				return fmt.Errorf("schedule: task %d lists %d processors but NProcs=%d", a.TaskID, len(a.Procs), a.NProcs)
+			}
+			dup := make(map[int]bool, len(a.Procs))
+			for _, p := range a.Procs {
+				if p < 0 || p >= s.M {
+					return fmt.Errorf("schedule: task %d uses processor %d outside [0,%d)", a.TaskID, p, s.M)
+				}
+				if dup[p] {
+					return fmt.Errorf("schedule: task %d uses processor %d twice", a.TaskID, p)
+				}
+				dup[p] = true
+			}
+		}
+	}
+	if !opts.AllowMissingTasks {
+		for i := range inst.Tasks {
+			if seen[inst.Tasks[i].ID] == 0 {
+				return fmt.Errorf("schedule: task %d is not scheduled", inst.Tasks[i].ID)
+			}
+		}
+	}
+	if err := s.checkCapacity(); err != nil {
+		return err
+	}
+	return s.checkProcessorOverlaps()
+}
+
+// checkCapacity sweeps start/end events and verifies that the number of
+// busy processors never exceeds M.
+func (s *Schedule) checkCapacity() error {
+	type event struct {
+		t     float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(s.Assignments))
+	for i := range s.Assignments {
+		a := &s.Assignments[i]
+		events = append(events, event{a.Start, a.NProcs}, event{a.End(), -a.NProcs})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if math.Abs(events[i].t-events[j].t) <= moldable.Eps {
+			return events[i].delta < events[j].delta // process releases first
+		}
+		return events[i].t < events[j].t
+	})
+	busy := 0
+	for _, e := range events {
+		busy += e.delta
+		if busy > s.M {
+			return fmt.Errorf("schedule: %d processors busy at time %g but machine has only %d", busy, e.t, s.M)
+		}
+	}
+	return nil
+}
+
+// checkProcessorOverlaps verifies, for assignments carrying explicit
+// processor sets, that no processor runs two tasks simultaneously.
+func (s *Schedule) checkProcessorOverlaps() error {
+	type span struct {
+		start, end float64
+		task       int
+	}
+	perProc := make(map[int][]span)
+	for i := range s.Assignments {
+		a := &s.Assignments[i]
+		if a.Procs == nil {
+			continue
+		}
+		for _, p := range a.Procs {
+			perProc[p] = append(perProc[p], span{a.Start, a.End(), a.TaskID})
+		}
+	}
+	for p, spans := range perProc {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end-1e-6 {
+				return fmt.Errorf("schedule: processor %d runs tasks %d and %d simultaneously (overlap at %g)",
+					p, spans[i-1].task, spans[i].task, spans[i].start)
+			}
+		}
+	}
+	return nil
+}
+
+// Metrics bundles the quantities reported by the experiment harness.
+type Metrics struct {
+	Makespan           float64
+	WeightedCompletion float64
+	SumCompletion      float64
+	TotalWork          float64
+	Utilization        float64
+	IdleTime           float64
+}
+
+// ComputeMetrics evaluates the schedule against the instance.
+func (s *Schedule) ComputeMetrics(inst *moldable.Instance) Metrics {
+	return Metrics{
+		Makespan:           s.Makespan(),
+		WeightedCompletion: s.WeightedCompletion(inst),
+		SumCompletion:      s.SumCompletion(),
+		TotalWork:          s.TotalWork(),
+		Utilization:        s.Utilization(),
+		IdleTime:           s.IdleTime(),
+	}
+}

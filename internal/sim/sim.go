@@ -1,0 +1,148 @@
+// Package sim is a small discrete-event simulator of a homogeneous cluster
+// executing a schedule produced by this library. It replaces the Icluster2
+// hardware of the paper's deployment section: it dispatches tasks in
+// planned order on their planned processors, optionally perturbing the
+// actual execution times (user estimates are rarely exact), and reports the
+// realized metrics so the robustness of a scheduler can be studied.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/schedule"
+)
+
+// Options tunes the simulation.
+type Options struct {
+	// Perturb maps a task's planned duration to its actual duration (for
+	// example multiplying by a random factor). Nil means exact execution.
+	Perturb func(taskID int, planned float64) float64
+	// Strict makes the simulation fail if a task cannot start exactly at
+	// its planned time because one of its processors is still busy. The
+	// default (false) delays the task until its processors are free, as a
+	// real runtime system would.
+	Strict bool
+}
+
+// TaskTrace records the realized execution of one task.
+type TaskTrace struct {
+	TaskID  int
+	Start   float64
+	End     float64
+	Procs   []int
+	Delayed bool // true when the task could not start at its planned time
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// Traces holds one entry per task, sorted by realized start time.
+	Traces []TaskTrace
+	// Makespan is the realized completion time of the last task.
+	Makespan float64
+	// WeightedCompletion is the realized sum(w_i * C_i).
+	WeightedCompletion float64
+	// SumCompletion is the realized sum of completion times.
+	SumCompletion float64
+	// BusyTime is, per processor, the total time spent executing tasks.
+	BusyTime []float64
+	// Delayed is the number of tasks that started later than planned.
+	Delayed int
+}
+
+// Execute runs the schedule on a simulated cluster.
+func Execute(inst *moldable.Instance, sched *schedule.Schedule, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if sched.M != inst.M {
+		return nil, fmt.Errorf("sim: schedule is for %d processors, instance for %d", sched.M, inst.M)
+	}
+	for i := range sched.Assignments {
+		a := &sched.Assignments[i]
+		if inst.Task(a.TaskID) == nil {
+			return nil, fmt.Errorf("sim: schedule references unknown task %d", a.TaskID)
+		}
+		if len(a.Procs) != a.NProcs {
+			return nil, fmt.Errorf("sim: task %d has no explicit processor assignment", a.TaskID)
+		}
+	}
+
+	// Dispatch in planned start order (ties broken by task ID for
+	// determinism).
+	order := make([]int, len(sched.Assignments))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		ax, ay := &sched.Assignments[order[x]], &sched.Assignments[order[y]]
+		if ax.Start != ay.Start {
+			return ax.Start < ay.Start
+		}
+		return ax.TaskID < ay.TaskID
+	})
+
+	res := &Result{BusyTime: make([]float64, inst.M)}
+	freeAt := make([]float64, inst.M)
+	for _, i := range order {
+		a := &sched.Assignments[i]
+		start := a.Start
+		for _, p := range a.Procs {
+			if p < 0 || p >= inst.M {
+				return nil, fmt.Errorf("sim: task %d uses processor %d outside the machine", a.TaskID, p)
+			}
+			if freeAt[p] > start {
+				start = freeAt[p]
+			}
+		}
+		delayed := start > a.Start+moldable.Eps
+		if delayed && opts.Strict {
+			return nil, fmt.Errorf("sim: task %d cannot start at its planned time %g (processors busy until %g)", a.TaskID, a.Start, start)
+		}
+		duration := a.Duration
+		if opts.Perturb != nil {
+			duration = opts.Perturb(a.TaskID, a.Duration)
+			if duration <= 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
+				return nil, fmt.Errorf("sim: perturbation produced an invalid duration %g for task %d", duration, a.TaskID)
+			}
+		}
+		end := start + duration
+		for _, p := range a.Procs {
+			freeAt[p] = end
+			res.BusyTime[p] += duration
+		}
+		if delayed {
+			res.Delayed++
+		}
+		res.Traces = append(res.Traces, TaskTrace{
+			TaskID:  a.TaskID,
+			Start:   start,
+			End:     end,
+			Procs:   append([]int(nil), a.Procs...),
+			Delayed: delayed,
+		})
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		t := inst.Task(a.TaskID)
+		res.WeightedCompletion += t.Weight * end
+		res.SumCompletion += end
+	}
+	sort.SliceStable(res.Traces, func(a, b int) bool { return res.Traces[a].Start < res.Traces[b].Start })
+	return res, nil
+}
+
+// Utilization returns the average fraction of the machine kept busy until
+// the realized makespan.
+func (r *Result) Utilization(m int) float64 {
+	if r.Makespan <= 0 || m == 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, b := range r.BusyTime {
+		busy += b
+	}
+	return busy / (r.Makespan * float64(m))
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bicriteria/internal/core"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/schedule"
+	"bicriteria/internal/workload"
+)
+
+func testInstance() *moldable.Instance {
+	return moldable.NewInstance(4, []moldable.Task{
+		{ID: 0, Weight: 2, Times: []float64{8, 5, 4, 3.5}},
+		{ID: 1, Weight: 1, Times: []float64{4, 2.5}},
+		{ID: 2, Weight: 3, Times: []float64{6, 3.5, 2.5, 2}},
+	})
+}
+
+func plannedSchedule() *schedule.Schedule {
+	s := schedule.New(4)
+	s.Add(schedule.Assignment{TaskID: 0, Start: 0, NProcs: 2, Procs: []int{0, 1}, Duration: 5})
+	s.Add(schedule.Assignment{TaskID: 1, Start: 0, NProcs: 1, Procs: []int{2}, Duration: 4})
+	s.Add(schedule.Assignment{TaskID: 2, Start: 5, NProcs: 4, Procs: []int{0, 1, 2, 3}, Duration: 2})
+	return s
+}
+
+func TestExecuteExactMatchesPlan(t *testing.T) {
+	inst := testInstance()
+	s := plannedSchedule()
+	res, err := Execute(inst, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-s.Makespan()) > 1e-9 {
+		t.Fatalf("realized makespan %g differs from planned %g", res.Makespan, s.Makespan())
+	}
+	if math.Abs(res.WeightedCompletion-s.WeightedCompletion(inst)) > 1e-9 {
+		t.Fatalf("realized minsum differs from planned")
+	}
+	if res.Delayed != 0 {
+		t.Fatalf("no task should be delayed in an exact execution")
+	}
+	if len(res.Traces) != 3 {
+		t.Fatalf("expected 3 traces")
+	}
+	if u := res.Utilization(4); u <= 0 || u > 1 {
+		t.Fatalf("utilization %g out of range", u)
+	}
+}
+
+func TestExecuteWithPerturbationDelaysSuccessors(t *testing.T) {
+	inst := testInstance()
+	s := plannedSchedule()
+	res, err := Execute(inst, s, &Options{
+		Perturb: func(taskID int, planned float64) float64 {
+			if taskID == 0 {
+				return planned * 1.5 // task 0 runs 50% longer than estimated
+			}
+			return planned
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 2 uses the processors of task 0, so it must be delayed to 7.5.
+	var trace2 *TaskTrace
+	for i := range res.Traces {
+		if res.Traces[i].TaskID == 2 {
+			trace2 = &res.Traces[i]
+		}
+	}
+	if trace2 == nil || math.Abs(trace2.Start-7.5) > 1e-9 || !trace2.Delayed {
+		t.Fatalf("task 2 should be delayed to 7.5, got %+v", trace2)
+	}
+	if res.Delayed != 1 {
+		t.Fatalf("exactly one task should be delayed, got %d", res.Delayed)
+	}
+	if res.Makespan <= s.Makespan() {
+		t.Fatalf("perturbed makespan should exceed the planned one")
+	}
+}
+
+func TestExecuteStrictModeRejectsDelays(t *testing.T) {
+	inst := testInstance()
+	s := plannedSchedule()
+	_, err := Execute(inst, s, &Options{
+		Strict: true,
+		Perturb: func(taskID int, planned float64) float64 {
+			if taskID == 0 {
+				return planned * 2
+			}
+			return planned
+		},
+	})
+	if err == nil {
+		t.Fatalf("strict mode must reject a delayed start")
+	}
+	// Without perturbation strict mode accepts the valid plan.
+	if _, err := Execute(inst, s, &Options{Strict: true}); err != nil {
+		t.Fatalf("strict execution of a valid plan should pass: %v", err)
+	}
+}
+
+func TestExecuteRejectsMalformedInput(t *testing.T) {
+	inst := testInstance()
+	s := plannedSchedule()
+	s.M = 5
+	if _, err := Execute(inst, s, nil); err == nil {
+		t.Fatalf("machine mismatch must fail")
+	}
+	s = plannedSchedule()
+	s.Assignments[0].TaskID = 99
+	if _, err := Execute(inst, s, nil); err == nil {
+		t.Fatalf("unknown task must fail")
+	}
+	s = plannedSchedule()
+	s.Assignments[0].Procs = nil
+	if _, err := Execute(inst, s, nil); err == nil {
+		t.Fatalf("missing processor assignment must fail")
+	}
+	s = plannedSchedule()
+	s.Assignments[0].Procs = []int{0, 9}
+	if _, err := Execute(inst, s, nil); err == nil {
+		t.Fatalf("out-of-range processor must fail")
+	}
+	s = plannedSchedule()
+	if _, err := Execute(inst, s, &Options{Perturb: func(int, float64) float64 { return -1 }}); err == nil {
+		t.Fatalf("invalid perturbed duration must fail")
+	}
+}
+
+func TestPropertySimulatedDEMTSchedulesMatchPlanExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst, err := workload.Generate(workload.Config{Kind: workload.HighlyParallel, M: 8 + r.Intn(8), N: 5 + r.Intn(20), Seed: seed})
+		if err != nil {
+			return false
+		}
+		res, err := core.Schedule(inst, &core.Options{Shuffles: 2})
+		if err != nil {
+			return false
+		}
+		out, err := Execute(inst, res.Schedule, nil)
+		if err != nil {
+			return false
+		}
+		// Exact execution of a valid schedule never delays anything and
+		// reproduces the planned metrics.
+		return out.Delayed == 0 &&
+			math.Abs(out.Makespan-res.Schedule.Makespan()) < 1e-6 &&
+			math.Abs(out.WeightedCompletion-res.Schedule.WeightedCompletion(inst)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness: summaries of samples and the ratio-of-sums
+// aggregation of competitive ratios recommended by Jain ("The art of
+// computer systems performance analysis"), which is how the paper averages
+// its performance ratios (section 4.2).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	Count  int
+	Min    float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+	Sum    float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func Summarize(values []float64) Summary {
+	s := Summary{}
+	if len(values) == 0 {
+		return s
+	}
+	s.Count = len(values)
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	for _, v := range values {
+		s.Sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	if s.Count > 1 {
+		varSum := 0.0
+		for _, v := range values {
+			d := v - s.Mean
+			varSum += d * d
+		}
+		s.StdDev = math.Sqrt(varSum / float64(s.Count-1))
+	}
+	return s
+}
+
+// RatioAggregator accumulates pairs (value, reference) and reports the
+// ratio of sums together with the minimum and maximum per-pair ratio.
+type RatioAggregator struct {
+	valueSum float64
+	refSum   float64
+	ratios   []float64
+}
+
+// Add records one observation. Reference values that are not strictly
+// positive are rejected to avoid silent division by zero.
+func (r *RatioAggregator) Add(value, reference float64) error {
+	if reference <= 0 || math.IsNaN(reference) || math.IsInf(reference, 0) {
+		return fmt.Errorf("stats: invalid reference value %g", reference)
+	}
+	if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("stats: invalid value %g", value)
+	}
+	r.valueSum += value
+	r.refSum += reference
+	r.ratios = append(r.ratios, value/reference)
+	return nil
+}
+
+// Count returns the number of recorded observations.
+func (r *RatioAggregator) Count() int { return len(r.ratios) }
+
+// Ratio is the aggregated view of a RatioAggregator.
+type Ratio struct {
+	// Mean is the ratio of sums (sum of values / sum of references).
+	Mean float64
+	// Min and Max are the extreme per-observation ratios.
+	Min float64
+	Max float64
+	// Count is the number of observations.
+	Count int
+}
+
+// Result returns the aggregated ratio. An empty aggregator returns a zero
+// Ratio.
+func (r *RatioAggregator) Result() Ratio {
+	if len(r.ratios) == 0 {
+		return Ratio{}
+	}
+	out := Ratio{Mean: r.valueSum / r.refSum, Count: len(r.ratios)}
+	out.Min = math.Inf(1)
+	out.Max = math.Inf(-1)
+	for _, v := range r.ratios {
+		if v < out.Min {
+			out.Min = v
+		}
+		if v > out.Max {
+			out.Max = v
+		}
+	}
+	return out
+}
+
+// String formats a ratio as "mean [min, max]".
+func (r Ratio) String() string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f]", r.Mean, r.Min, r.Max)
+}

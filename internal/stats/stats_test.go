@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 || s.Min != 2 || s.Max != 9 || s.Sum != 40 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %g, want 5", s.Mean)
+	}
+	// Sample standard deviation of this classic data set is ~2.138.
+	if math.Abs(s.StdDev-2.1380899) > 1e-6 {
+		t.Fatalf("stddev = %g", s.StdDev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.Count != 1 || s.Mean != 3 || s.StdDev != 0 || s.Min != 3 || s.Max != 3 {
+		t.Fatalf("single-value summary wrong: %+v", s)
+	}
+}
+
+func TestRatioAggregator(t *testing.T) {
+	var agg RatioAggregator
+	if err := agg.Add(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Add(9, 3); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count() != 2 {
+		t.Fatalf("count = %d", agg.Count())
+	}
+	r := agg.Result()
+	// Ratio of sums: 13/5 = 2.6; per-run ratios 2 and 3.
+	if math.Abs(r.Mean-2.6) > 1e-12 || r.Min != 2 || r.Max != 3 || r.Count != 2 {
+		t.Fatalf("ratio wrong: %+v", r)
+	}
+	if !strings.Contains(r.String(), "2.600") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestRatioAggregatorRejectsInvalid(t *testing.T) {
+	var agg RatioAggregator
+	if err := agg.Add(1, 0); err == nil {
+		t.Fatalf("zero reference must fail")
+	}
+	if err := agg.Add(1, -2); err == nil {
+		t.Fatalf("negative reference must fail")
+	}
+	if err := agg.Add(math.NaN(), 1); err == nil {
+		t.Fatalf("NaN value must fail")
+	}
+	if err := agg.Add(-1, 1); err == nil {
+		t.Fatalf("negative value must fail")
+	}
+	if agg.Count() != 0 {
+		t.Fatalf("rejected observations must not be recorded")
+	}
+	if r := agg.Result(); r.Count != 0 || r.Mean != 0 {
+		t.Fatalf("empty aggregator should give zero result: %+v", r)
+	}
+}
+
+func TestPropertyRatioOfSumsBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var agg RatioAggregator
+		for i, b := range raw {
+			value := float64(b%40) + 1
+			ref := float64(i%7) + 1
+			if err := agg.Add(value, ref); err != nil {
+				return false
+			}
+		}
+		r := agg.Result()
+		return r.Mean >= r.Min-1e-12 && r.Mean <= r.Max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySummaryInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		for i, b := range raw {
+			values[i] = float64(b)
+		}
+		s := Summarize(values)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Count == len(values) && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

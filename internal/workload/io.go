@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bicriteria/internal/moldable"
+)
+
+// fileFormat is the on-disk JSON representation of an instance. It is kept
+// separate from the in-memory types so that the public model can evolve
+// without breaking stored workloads.
+type fileFormat struct {
+	// Version of the format, currently 1.
+	Version int        `json:"version"`
+	M       int        `json:"processors"`
+	Tasks   []fileTask `json:"tasks"`
+}
+
+type fileTask struct {
+	ID     int       `json:"id"`
+	Name   string    `json:"name,omitempty"`
+	Weight float64   `json:"weight"`
+	Times  []float64 `json:"times"`
+}
+
+const formatVersion = 1
+
+// WriteInstance serializes an instance as JSON.
+func WriteInstance(w io.Writer, inst *moldable.Instance) error {
+	ff := fileFormat{Version: formatVersion, M: inst.M, Tasks: make([]fileTask, len(inst.Tasks))}
+	for i, t := range inst.Tasks {
+		ff.Tasks[i] = fileTask{ID: t.ID, Name: t.Name, Weight: t.Weight, Times: t.Times}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// ReadInstance parses an instance previously written by WriteInstance and
+// validates it.
+func ReadInstance(r io.Reader) (*moldable.Instance, error) {
+	var ff fileFormat
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ff); err != nil {
+		return nil, fmt.Errorf("workload: cannot decode instance: %w", err)
+	}
+	if ff.Version != formatVersion {
+		return nil, fmt.Errorf("workload: unsupported format version %d (want %d)", ff.Version, formatVersion)
+	}
+	tasks := make([]moldable.Task, len(ff.Tasks))
+	for i, t := range ff.Tasks {
+		tasks[i] = moldable.Task{ID: t.ID, Name: t.Name, Weight: t.Weight, Times: t.Times}
+	}
+	inst := moldable.NewInstance(ff.M, tasks)
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// SaveInstance writes an instance to a file path.
+func SaveInstance(path string, inst *moldable.Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteInstance(f, inst); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadInstance reads an instance from a file path.
+func LoadInstance(path string) (*moldable.Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadInstance(f)
+}
