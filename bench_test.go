@@ -20,6 +20,7 @@ import (
 	"os"
 	"testing"
 
+	"bicriteria/internal/cluster"
 	"bicriteria/internal/core"
 	"bicriteria/internal/dualapprox"
 	"bicriteria/internal/experiment"
@@ -225,6 +226,52 @@ func BenchmarkAblationLowerBound(b *testing.B) {
 		b.ReportMetric(v, "bound_value")
 		b.ReportMetric(raw, "lp_raw_value")
 	})
+}
+
+// BenchmarkClusterReplay measures the event-driven cluster engine replaying
+// a bursty Poisson stream with the full concurrent portfolio, noisy
+// runtimes and a reservation: the end-to-end hot path of the system.
+func BenchmarkClusterReplay(b *testing.B) {
+	m, n := 64, 150
+	if fullScale() {
+		m, n = 200, 400
+	}
+	arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Workload:  workload.Config{Kind: workload.Mixed, M: m, N: n, Seed: 42},
+		Rate:      4,
+		BurstSize: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := cluster.JobsFromArrivals(arrivals)
+	perturb, err := cluster.UniformNoise(0.2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{
+		M:         m,
+		Objective: cluster.Objective{Kind: cluster.ObjectiveCombined, Alpha: 0.5},
+		Perturb:   perturb,
+		Reservations: []Reservation{
+			{Name: "maint", Procs: m / 8, Start: 10, End: 30},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var report *cluster.Report
+	for i := 0; i < b.N; i++ {
+		report, err = eng.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(report.Metrics.Utilization, "utilization")
+	b.ReportMetric(float64(report.Metrics.Batches), "batches")
+	b.ReportMetric(report.Metrics.MeanStretch, "mean_stretch")
 }
 
 // BenchmarkDEMTSchedule measures the raw DEMT scheduling time at the

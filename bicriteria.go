@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"bicriteria/internal/baselines"
+	"bicriteria/internal/cluster"
 	"bicriteria/internal/core"
 	"bicriteria/internal/dualapprox"
 	"bicriteria/internal/experiment"
@@ -249,11 +250,115 @@ func DEMTOffline(opts *DEMTOptions) OfflineScheduler {
 	}
 }
 
+// ClusterConfig drives the event-driven cluster engine (machine size,
+// algorithm portfolio, objective, batching policy, reservations,
+// perturbation).
+type ClusterConfig = cluster.Config
+
+// ClusterEngine is a reusable event-driven cluster engine: it batches an
+// on-line job stream under a pluggable policy, schedules every batch with a
+// concurrent algorithm portfolio, places the winning plan around node
+// reservations and executes it on the discrete-event simulator.
+type ClusterEngine = cluster.Engine
+
+// ClusterReport is the outcome of a cluster run (realized schedule, batch
+// reports, aggregate metrics).
+type ClusterReport = cluster.Report
+
+// ClusterBatchReport describes one committed batch, including the
+// cumulative metrics snapshot streamed to Config.OnBatch.
+type ClusterBatchReport = cluster.BatchReport
+
+// ClusterMetrics aggregates a run: utilization, max flow, mean stretch,
+// portfolio winner counts...
+type ClusterMetrics = cluster.Metrics
+
+// ClusterAlgorithm is one member of the scheduling portfolio.
+type ClusterAlgorithm = cluster.Algorithm
+
+// ClusterCandidate reports one portfolio member's score on a batch.
+type ClusterCandidate = cluster.Candidate
+
+// ClusterObjective selects the criterion the engine minimizes per batch.
+type ClusterObjective = cluster.Objective
+
+// ClusterBatchPolicy decides when the engine fires the next batch.
+type ClusterBatchPolicy = cluster.BatchPolicy
+
+// Cluster objectives.
+const (
+	ClusterObjectiveMakespan           = cluster.ObjectiveMakespan
+	ClusterObjectiveWeightedCompletion = cluster.ObjectiveWeightedCompletion
+	ClusterObjectiveCombined           = cluster.ObjectiveCombined
+)
+
+// NewClusterEngine validates the configuration and builds an engine.
+func NewClusterEngine(cfg ClusterConfig) (*ClusterEngine, error) { return cluster.New(cfg) }
+
+// RunCluster builds an engine and replays the job stream through it.
+func RunCluster(cfg ClusterConfig, jobs []OnlineJob) (*ClusterReport, error) {
+	eng, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(jobs)
+}
+
+// ClusterPortfolio returns the paper's full comparison as a portfolio:
+// DEMT (with the given options, nil for the paper's defaults) plus every
+// baseline.
+func ClusterPortfolio(opts *DEMTOptions) []ClusterAlgorithm { return cluster.DefaultPortfolio(opts) }
+
+// ClusterDEMTAlgorithm wraps the DEMT scheduler as a portfolio member.
+func ClusterDEMTAlgorithm(opts *DEMTOptions) ClusterAlgorithm { return cluster.DEMTAlgorithm(opts) }
+
+// BatchOnIdle fires a batch as soon as the machine is idle and jobs are
+// pending (the framework of section 2.2 of the paper).
+func BatchOnIdle() ClusterBatchPolicy { return cluster.BatchOnIdle() }
+
+// FixedIntervalPolicy fires batches on multiples of period, like a cron-run
+// batch scheduler.
+func FixedIntervalPolicy(period float64) (ClusterBatchPolicy, error) {
+	return cluster.FixedInterval(period)
+}
+
+// AdaptiveBacklogPolicy fires a batch once the pending jobs carry
+// workTarget processor-time units of minimum work, or once the oldest
+// pending job has waited maxDelay.
+func AdaptiveBacklogPolicy(workTarget, maxDelay float64) (ClusterBatchPolicy, error) {
+	return cluster.AdaptiveBacklog(workTarget, maxDelay)
+}
+
+// UniformRuntimeNoise builds a deterministic runtime perturbation scaling
+// every planned duration by a uniform factor in [1-frac, 1+frac], keyed by
+// (seed, taskID). A frac of 0 yields nil (exact execution); a frac outside
+// [0, 1) is an error.
+func UniformRuntimeNoise(frac float64, seed int64) (func(taskID int, planned float64) float64, error) {
+	return cluster.UniformNoise(frac, seed)
+}
+
+// Arrival is a generated job with its submission time.
+type Arrival = workload.Arrival
+
+// ArrivalConfig drives the Poisson/burst arrival generator.
+type ArrivalConfig = workload.ArrivalConfig
+
+// GenerateArrivals builds a deterministic on-line job stream: tasks from a
+// workload family, submitted at Poisson (or bursty Poisson) instants.
+func GenerateArrivals(cfg ArrivalConfig) ([]Arrival, error) { return workload.GenerateArrivals(cfg) }
+
+// ArrivalJobs adapts an arrival stream to the on-line and cluster inputs.
+func ArrivalJobs(arrivals []Arrival) []OnlineJob { return cluster.JobsFromArrivals(arrivals) }
+
 // SimulationOptions tunes the discrete-event execution of a schedule.
 type SimulationOptions = sim.Options
 
 // SimulationResult reports the realized execution of a schedule.
 type SimulationResult = sim.Result
+
+// SimulationBlockedWindow makes a set of processors unavailable during a
+// time window of a simulation (node reservations, maintenance).
+type SimulationBlockedWindow = sim.BlockedWindow
 
 // Simulate executes a schedule on the discrete-event cluster simulator.
 func Simulate(inst *Instance, sched *Schedule, opts *SimulationOptions) (*SimulationResult, error) {

@@ -1,0 +1,216 @@
+// Command bicrit-cluster replays an on-line job stream through the
+// event-driven cluster engine: jobs arrive over time (from a generated
+// Poisson/burst stream or an SWF trace), accumulate into batches under a
+// batching policy, and every batch is scheduled by a concurrent algorithm
+// portfolio (DEMT plus the paper's baselines) with the best plan committed
+// under the chosen objective. Realized (optionally perturbed) runtimes
+// drive the replay, and the run reports utilization, max flow, mean
+// stretch and the portfolio winner counts.
+//
+// Usage:
+//
+//	bicrit-cluster -m 64 -n 200 -kind mixed -rate 2 -noise 0.2 -v
+//	bicrit-cluster -m 128 -trace jobs.swf -policy interval -interval 50
+//	bicrit-cluster -m 64 -n 100 -rate 5 -burst 10 -policy adaptive \
+//	    -objective combined -alpha 0.5 -reserve 16:100:200 -reserve 8:300:350
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bicriteria"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bicrit-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+// reserveFlags collects repeated -reserve procs:start:end flags.
+type reserveFlags []bicriteria.Reservation
+
+func (f *reserveFlags) String() string { return fmt.Sprintf("%v", []bicriteria.Reservation(*f)) }
+
+func (f *reserveFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want procs:start:end, got %q", s)
+	}
+	procs, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad processor count %q", parts[0])
+	}
+	start, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad start %q", parts[1])
+	}
+	end, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad end %q", parts[2])
+	}
+	*f = append(*f, bicriteria.Reservation{Procs: procs, Start: start, End: end})
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bicrit-cluster", flag.ContinueOnError)
+	m := fs.Int("m", 64, "number of processors")
+	n := fs.Int("n", 100, "number of generated jobs (ignored with -trace)")
+	kindFlag := fs.String("kind", "mixed", "workload family: weakly-parallel, highly-parallel, mixed or cirne")
+	seed := fs.Int64("seed", 1, "seed of the generated stream, the DEMT shuffles and the runtime noise")
+	rate := fs.Float64("rate", 2, "mean job arrival rate (jobs per time unit, ignored with -trace)")
+	burst := fs.Int("burst", 1, "arrival burst size (jobs sharing one submission instant)")
+	tracePath := fs.String("trace", "", "replay an SWF trace instead of generating a stream")
+	policyFlag := fs.String("policy", "idle", "batching policy: idle, interval or adaptive")
+	interval := fs.Float64("interval", 25, "period of the interval policy")
+	workFactor := fs.Float64("work-factor", 4, "adaptive policy: fire once backlog work >= work-factor * m")
+	maxDelay := fs.Float64("max-delay", 50, "adaptive policy: maximum wait of the oldest pending job")
+	objectiveFlag := fs.String("objective", "makespan", "commit objective: makespan, minsum or combined")
+	alpha := fs.Float64("alpha", 0.5, "makespan weight of the combined objective")
+	noise := fs.Float64("noise", 0, "runtime perturbation fraction (realized in planned*[1-noise, 1+noise])")
+	sequential := fs.Bool("sequential", false, "run the portfolio sequentially instead of in parallel goroutines")
+	verbose := fs.Bool("v", false, "print one line per committed batch")
+	var reserves reserveFlags
+	fs.Var(&reserves, "reserve", "block procs:start:end for a reservation (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	perturb, err := bicriteria.UniformRuntimeNoise(*noise, *seed)
+	if err != nil {
+		return err
+	}
+	jobs, err := loadJobs(*tracePath, *kindFlag, *m, *n, *seed, *rate, *burst)
+	if err != nil {
+		return err
+	}
+
+	policy, err := buildPolicy(*policyFlag, *interval, *workFactor*float64(*m), *maxDelay)
+	if err != nil {
+		return err
+	}
+	objective, err := buildObjective(*objectiveFlag, *alpha)
+	if err != nil {
+		return err
+	}
+
+	cfg := bicriteria.ClusterConfig{
+		M:            *m,
+		Portfolio:    bicriteria.ClusterPortfolio(&bicriteria.DEMTOptions{Seed: *seed}),
+		Objective:    objective,
+		Policy:       policy,
+		Reservations: reserves,
+		Perturb:      perturb,
+		Sequential:   *sequential,
+	}
+	if *verbose {
+		cfg.OnBatch = func(br bicriteria.ClusterBatchReport) {
+			fmt.Fprintf(out, "batch %3d  t=%9.2f  jobs=%3d  winner=%-9s  planned=%8.2f  realized=%8.2f  util=%5.1f%%\n",
+				br.Index, br.FireTime, len(br.Jobs), br.Winner, br.PlannedMakespan, br.RealizedMakespan,
+				100*br.Cumulative.Utilization)
+		}
+	}
+
+	report, err := bicriteria.RunCluster(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	if len(cfg.Reservations) > 0 {
+		if err := bicriteria.ValidateReservations(report.Schedule, cfg.Reservations, report.Blocked); err != nil {
+			return fmt.Errorf("realized trace violates a reservation: %w", err)
+		}
+	}
+	printReport(out, &cfg, report, policy.Name(), len(jobs))
+	return nil
+}
+
+// loadJobs builds the job stream from an SWF trace or the generator.
+func loadJobs(tracePath, kind string, m, n int, seed int64, rate float64, burst int) ([]bicriteria.OnlineJob, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		records, err := bicriteria.ParseTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		tasks := bicriteria.TraceToTasks(records, m, nil)
+		releases := bicriteria.TraceReleases(records)
+		jobs := make([]bicriteria.OnlineJob, len(tasks))
+		for i, t := range tasks {
+			jobs[i] = bicriteria.OnlineJob{Task: t, Release: releases[t.ID]}
+		}
+		return jobs, nil
+	}
+	k, err := bicriteria.ParseWorkloadKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := bicriteria.GenerateArrivals(bicriteria.ArrivalConfig{
+		Workload:  bicriteria.WorkloadConfig{Kind: k, M: m, N: n, Seed: seed},
+		Rate:      rate,
+		BurstSize: burst,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bicriteria.ArrivalJobs(arrivals), nil
+}
+
+func buildPolicy(name string, interval, workTarget, maxDelay float64) (bicriteria.ClusterBatchPolicy, error) {
+	switch name {
+	case "idle":
+		return bicriteria.BatchOnIdle(), nil
+	case "interval":
+		return bicriteria.FixedIntervalPolicy(interval)
+	case "adaptive":
+		return bicriteria.AdaptiveBacklogPolicy(workTarget, maxDelay)
+	}
+	return nil, fmt.Errorf("unknown policy %q (want idle, interval or adaptive)", name)
+}
+
+func buildObjective(name string, alpha float64) (bicriteria.ClusterObjective, error) {
+	switch name {
+	case "makespan":
+		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveMakespan}, nil
+	case "minsum":
+		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveWeightedCompletion}, nil
+	case "combined":
+		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveCombined, Alpha: alpha}, nil
+	}
+	return bicriteria.ClusterObjective{}, fmt.Errorf("unknown objective %q (want makespan, minsum or combined)", name)
+}
+
+func printReport(out io.Writer, cfg *bicriteria.ClusterConfig, report *bicriteria.ClusterReport, policyName string, jobs int) {
+	met := report.Metrics
+	fmt.Fprintf(out, "replayed %d jobs in %d batches on %d processors (policy %s, objective %s)\n",
+		jobs, met.Batches, cfg.M, policyName, cfg.Objective.Kind)
+	fmt.Fprintf(out, "  realized makespan     %.2f\n", met.Makespan)
+	fmt.Fprintf(out, "  weighted completion   %.2f\n", met.WeightedCompletion)
+	fmt.Fprintf(out, "  max flow              %.2f\n", met.MaxFlow)
+	fmt.Fprintf(out, "  mean stretch          %.2f\n", met.MeanStretch)
+	fmt.Fprintf(out, "  utilization           %.1f%%\n", 100*met.Utilization)
+	fmt.Fprintf(out, "  delayed tasks         %d\n", met.Delayed)
+	if len(cfg.Reservations) > 0 {
+		fmt.Fprintf(out, "  reservations          %d (all respected)\n", len(cfg.Reservations))
+	}
+	names := make([]string, 0, len(met.Wins))
+	for name := range met.Wins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(out, "portfolio wins:")
+	for _, name := range names {
+		fmt.Fprintf(out, "  %-10s %d\n", name, met.Wins[name])
+	}
+}

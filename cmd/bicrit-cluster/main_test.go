@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bicriteria"
+)
+
+func TestRunGeneratedStreamAllPolicies(t *testing.T) {
+	for _, policy := range []string{"idle", "interval", "adaptive"} {
+		var buf bytes.Buffer
+		args := []string{"-m", "16", "-n", "30", "-kind", "mixed", "-rate", "3", "-policy", policy, "-noise", "0.2"}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		out := buf.String()
+		for _, want := range []string{"realized makespan", "max flow", "mean stretch", "utilization", "portfolio wins:"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: missing %q in output:\n%s", policy, want, out)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossModes(t *testing.T) {
+	args := []string{"-m", "16", "-n", "40", "-rate", "4", "-burst", "5", "-noise", "0.25",
+		"-objective", "combined", "-alpha", "0.4", "-reserve", "4:5:20", "-v"}
+	var parallel, sequential bytes.Buffer
+	if err := run(args, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-sequential"}, args...), &sequential); err != nil {
+		t.Fatal(err)
+	}
+	if parallel.String() != sequential.String() {
+		t.Fatalf("parallel and sequential replays differ:\n--- parallel ---\n%s--- sequential ---\n%s",
+			parallel.String(), sequential.String())
+	}
+}
+
+func TestRunTraceReplay(t *testing.T) {
+	records := []bicriteria.TraceRecord{
+		{JobID: 1, Submit: 0, Run: 10, Procs: 4, ReqProcs: 4, ReqTime: 12, Status: 1},
+		{JobID: 2, Submit: 2, Run: 6, Procs: 2, ReqProcs: 2, ReqTime: 8, Status: 1},
+		{JobID: 3, Submit: 15, Run: 4, Procs: 8, ReqProcs: 8, ReqTime: 5, Status: 1},
+	}
+	path := filepath.Join(t.TempDir(), "jobs.swf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bicriteria.WriteTrace(f, records); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-m", "16", "-trace", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "replayed 3 jobs") {
+		t.Fatalf("trace replay output missing job count:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "nope"},
+		{"-objective", "nope"},
+		{"-kind", "nope"},
+		{"-reserve", "garbage"},
+		{"-rate", "0"},
+		{"-noise", "1.5"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -6,7 +6,10 @@
 // baseline algorithms of the paper's evaluation, the LP-relaxation lower
 // bound on the weighted sum of completion times, the synthetic workload
 // generators, an experiment harness reproducing the paper's figures, an
-// on-line batch framework and a discrete-event cluster simulator.
+// on-line batch framework, a discrete-event cluster simulator and an
+// event-driven cluster engine that batches an arrival stream under
+// pluggable policies and schedules every batch with a concurrent algorithm
+// portfolio.
 //
 // The root package is a thin facade over the internal packages: it exposes
 // the task and schedule model, the DEMT scheduler, the baselines, the lower

@@ -1,0 +1,3 @@
+module bicriteria
+
+go 1.24

@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"bicriteria/internal/core"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/online"
+	"bicriteria/internal/reservation"
+	"bicriteria/internal/schedule"
+	"bicriteria/internal/workload"
+)
+
+// noise builds a UniformNoise perturbation, failing the test on a bad
+// fraction.
+func noise(t testing.TB, frac float64, seed int64) func(int, float64) float64 {
+	t.Helper()
+	f, err := UniformNoise(frac, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// stream generates a deterministic bursty Poisson job stream.
+func stream(t testing.TB, m, n int, seed int64, burst int) []online.Job {
+	t.Helper()
+	arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Workload:  workload.Config{Kind: workload.Mixed, M: m, N: n, Seed: seed},
+		Rate:      3,
+		BurstSize: burst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return JobsFromArrivals(arrivals)
+}
+
+func TestArrivalsDeterministicAndSorted(t *testing.T) {
+	cfg := workload.ArrivalConfig{
+		Workload:  workload.Config{Kind: workload.Cirne, M: 16, N: 40, Seed: 5},
+		Rate:      2,
+		BurstSize: 4,
+	}
+	a, err := workload.GenerateArrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.GenerateArrivals(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations with the same config differ")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Submit < a[i-1].Submit {
+			t.Fatalf("arrivals out of order at %d: %g after %g", i, a[i].Submit, a[i-1].Submit)
+		}
+	}
+	// Bursts of 4 share their submission instant.
+	for i := 0; i < len(a); i += 4 {
+		for j := i + 1; j < i+4 && j < len(a); j++ {
+			if a[j].Submit != a[i].Submit {
+				t.Fatalf("burst member %d does not share the burst instant (%g vs %g)", j, a[j].Submit, a[i].Submit)
+			}
+		}
+	}
+	if _, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Workload: workload.Config{Kind: workload.Mixed, M: 8, N: 4, Seed: 1},
+	}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestPortfolioReplayDeterministicParallelVsSequential(t *testing.T) {
+	jobs := stream(t, 32, 80, 9, 5)
+	base := Config{
+		M:         32,
+		Objective: Objective{Kind: ObjectiveCombined, Alpha: 0.5},
+		Perturb:   noise(t, 0.2, 9),
+		Reservations: []reservation.Reservation{
+			{Name: "maint", Procs: 8, Start: 5, End: 15},
+		},
+	}
+
+	run := func(sequential bool, procs int) *Report {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := base
+		cfg.Sequential = sequential
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	seq := run(true, 1)
+	par := run(false, runtime.NumCPU())
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel portfolio replay differs from sequential replay under the same seed")
+	}
+	par2 := run(false, runtime.NumCPU())
+	if !reflect.DeepEqual(par, par2) {
+		t.Fatal("two parallel replays under the same seed differ")
+	}
+	if seq.Metrics.Batches == 0 || seq.Metrics.Jobs != len(jobs) {
+		t.Fatalf("unexpected metrics: %+v", seq.Metrics)
+	}
+}
+
+func TestBatchOnIdleMatchesOnlineFramework(t *testing.T) {
+	const m = 24
+	jobs := stream(t, m, 60, 3, 1)
+
+	onlineRes, err := online.Schedule(m, jobs, func(inst *moldable.Instance) (*schedule.Schedule, error) {
+		r, err := core.Schedule(inst, nil)
+		if err != nil {
+			return nil, err
+		}
+		return r.Schedule, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := New(Config{M: m, Portfolio: []Algorithm{DEMTAlgorithm(nil)}, Policy: BatchOnIdle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(report.Batches) != len(onlineRes.Batches) {
+		t.Fatalf("engine built %d batches, online framework %d", len(report.Batches), len(onlineRes.Batches))
+	}
+	for i := range report.Batches {
+		if !reflect.DeepEqual(report.Batches[i].Jobs, onlineRes.Batches[i].TaskIDs) {
+			t.Fatalf("batch %d composition differs: %v vs %v", i, report.Batches[i].Jobs, onlineRes.Batches[i].TaskIDs)
+		}
+		if math.Abs(report.Batches[i].FireTime-onlineRes.Batches[i].Start) > 1e-9 {
+			t.Fatalf("batch %d fired at %g, online framework at %g", i, report.Batches[i].FireTime, onlineRes.Batches[i].Start)
+		}
+	}
+	for _, a := range onlineRes.Schedule.Assignments {
+		got := report.Schedule.Assignment(a.TaskID)
+		if got == nil {
+			t.Fatalf("task %d missing from the engine trace", a.TaskID)
+		}
+		if math.Abs(got.End()-a.End()) > 1e-9 {
+			t.Fatalf("task %d completes at %g in the engine, %g in the online framework", a.TaskID, got.End(), a.End())
+		}
+	}
+	if math.Abs(report.Metrics.MaxFlow-onlineRes.MaxFlow) > 1e-9 {
+		t.Fatalf("max flow %g vs online %g", report.Metrics.MaxFlow, onlineRes.MaxFlow)
+	}
+	if math.Abs(report.Metrics.MeanStretch-onlineRes.MeanStretch) > 1e-9 {
+		t.Fatalf("mean stretch %g vs online %g", report.Metrics.MeanStretch, onlineRes.MeanStretch)
+	}
+	if math.Abs(report.Metrics.WeightedCompletion-onlineRes.WeightedCompletion) > 1e-6 {
+		t.Fatalf("weighted completion %g vs online %g", report.Metrics.WeightedCompletion, onlineRes.WeightedCompletion)
+	}
+}
+
+func TestReservationsNeverViolatedDuringReplay(t *testing.T) {
+	jobs := stream(t, 32, 70, 17, 6)
+	reservations := []reservation.Reservation{
+		{Name: "maint-a", Procs: 12, Start: 3, End: 20},
+		{Name: "maint-b", Procs: 8, Start: 15, End: 40},
+	}
+	eng, err := New(Config{
+		M:            32,
+		Reservations: reservations,
+		Perturb:      noise(t, 0.3, 17),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reservation.ValidateAgainstReservations(report.Schedule, reservations, report.Blocked); err != nil {
+		t.Fatalf("realized trace violates a reservation: %v", err)
+	}
+	// Overlapping reservations must block disjoint processors.
+	seen := map[int]bool{}
+	for _, p := range report.Blocked[0] {
+		seen[p] = true
+	}
+	for _, p := range report.Blocked[1] {
+		if seen[p] {
+			t.Fatalf("overlapping reservations share processor %d", p)
+		}
+	}
+}
+
+func TestFixedIntervalFiresOnTicks(t *testing.T) {
+	const period = 10.0
+	policy, err := FixedInterval(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stream(t, 16, 40, 21, 3)
+	eng, err := New(Config{M: 16, Policy: policy, Portfolio: []Algorithm{DEMTAlgorithm(nil)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, br := range report.Batches {
+		ticks := br.FireTime / period
+		if math.Abs(ticks-math.Round(ticks)) > 1e-6 {
+			t.Fatalf("batch %d fired at %g, not on a multiple of %g", br.Index, br.FireTime, period)
+		}
+	}
+	if _, err := FixedInterval(0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestAdaptiveBacklogFiresOnWorkOrDelay(t *testing.T) {
+	policy, err := AdaptiveBacklog(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the work target the policy waits until the oldest job ages out.
+	small := []online.Job{{Task: moldable.Sequential(0, 1, 2), Release: 7}}
+	if fire := policy.NextFire(8, small); fire != 57 {
+		t.Fatalf("under-threshold backlog should fire at release+maxDelay=57, got %g", fire)
+	}
+	// Above the work target it fires immediately.
+	big := []online.Job{
+		{Task: moldable.Sequential(0, 1, 60), Release: 7},
+		{Task: moldable.Sequential(1, 1, 60), Release: 8},
+	}
+	if fire := policy.NextFire(9, big); fire != 9 {
+		t.Fatalf("over-threshold backlog should fire immediately, got %g", fire)
+	}
+	if _, err := AdaptiveBacklog(0, 10); err == nil {
+		t.Fatal("zero work target accepted")
+	}
+}
+
+func TestUniformNoiseValidation(t *testing.T) {
+	if f, err := UniformNoise(0, 1); err != nil || f != nil {
+		t.Fatalf("zero fraction should yield nil perturbation, got %t, %v", f != nil, err)
+	}
+	for _, frac := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := UniformNoise(frac, 1); err == nil {
+			t.Fatalf("fraction %g accepted", frac)
+		}
+	}
+	f := noise(t, 0.5, 7)
+	if got, want := f(3, 10.0), f(3, 10.0); got != want {
+		t.Fatalf("perturbation not deterministic: %g vs %g", got, want)
+	}
+	if v := f(3, 10.0); v < 5 || v > 15 {
+		t.Fatalf("perturbed value %g outside [5, 15]", v)
+	}
+}
+
+func TestEngineInputValidation(t *testing.T) {
+	if _, err := New(Config{M: 0}); err == nil {
+		t.Fatal("zero-processor machine accepted")
+	}
+	if _, err := New(Config{M: 8, Portfolio: []Algorithm{{Name: "x"}}}); err == nil {
+		t.Fatal("algorithm without Run accepted")
+	}
+	if _, err := New(Config{M: 8, Portfolio: []Algorithm{DEMTAlgorithm(nil), DEMTAlgorithm(nil)}}); err == nil {
+		t.Fatal("duplicate algorithm names accepted")
+	}
+	if _, err := New(Config{M: 8, Objective: Objective{Kind: ObjectiveCombined, Alpha: 2}}); err == nil {
+		t.Fatal("alpha outside [0,1] accepted")
+	}
+	if _, err := New(Config{M: 8, Reservations: []reservation.Reservation{{Procs: 8, Start: 0, End: 10}}}); err == nil {
+		t.Fatal("reservation blocking the whole machine accepted")
+	}
+
+	eng, err := New(Config{M: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run([]online.Job{
+		{Task: moldable.Sequential(1, 1, 1), Release: 0},
+		{Task: moldable.Sequential(1, 1, 2), Release: 1},
+	}); err == nil {
+		t.Fatal("duplicate job IDs accepted")
+	}
+	if _, err := eng.Run([]online.Job{{Task: moldable.Sequential(1, 1, 1), Release: -1}}); err == nil {
+		t.Fatal("negative release accepted")
+	}
+	report, err := eng.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Metrics.Jobs != 0 || len(report.Batches) != 0 {
+		t.Fatalf("empty stream produced non-empty report: %+v", report.Metrics)
+	}
+}
+
+func TestObjectiveSelectsWinner(t *testing.T) {
+	jobs := stream(t, 16, 30, 2, 1)
+	for _, obj := range []Objective{
+		{Kind: ObjectiveMakespan},
+		{Kind: ObjectiveWeightedCompletion},
+		{Kind: ObjectiveCombined, Alpha: 0.3},
+	} {
+		eng, err := New(Config{M: 16, Objective: obj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := eng.Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, br := range report.Batches {
+			winnerScore := math.Inf(1)
+			for _, c := range br.Candidates {
+				if c.Name == br.Winner {
+					winnerScore = c.Score
+				}
+			}
+			for _, c := range br.Candidates {
+				if c.Err == nil && c.Score < winnerScore-1e-12 {
+					t.Fatalf("objective %v: batch %d committed %s (score %g) but %s scored %g",
+						obj, br.Index, br.Winner, winnerScore, c.Name, c.Score)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package cluster is a long-running, event-driven cluster scheduling
+// engine: the layer that composes the paper's pieces — the on-line batch
+// framework, the DEMT scheduler and its baselines, node reservations and
+// the discrete-event simulator — into one system.
+//
+// The engine consumes a stream of job arrivals (SWF traces via
+// internal/trace, or the Poisson/burst generator of internal/workload),
+// accumulates them into batches under a pluggable batching policy, and
+// schedules every batch with a concurrent algorithm portfolio: each member
+// plans the batch in its own goroutine and the engine commits the best plan
+// under a configurable objective. Committed plans are placed around node
+// reservations and executed on the discrete-event simulator with optionally
+// perturbed runtimes, so the *realized* completion of a batch — not the
+// planned estimate — decides when the next batch fires. Per-batch reports
+// stream out with cumulative metrics (utilization, max flow, mean stretch,
+// portfolio winner counts).
+//
+// Every run is deterministic for a given configuration: the portfolio
+// winner is chosen by score with ties broken in portfolio order, so a
+// parallel replay is bit-identical to a sequential one.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"bicriteria/internal/listsched"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/online"
+	"bicriteria/internal/reservation"
+	"bicriteria/internal/schedule"
+	"bicriteria/internal/sim"
+	"bicriteria/internal/workload"
+)
+
+// Config drives a cluster engine.
+type Config struct {
+	// M is the number of processors of the machine.
+	M int
+	// Portfolio lists the candidate algorithms run on every batch. Empty
+	// means DefaultPortfolio(nil). Names must be unique.
+	Portfolio []Algorithm
+	// Objective selects the commit criterion; the zero value minimizes the
+	// batch makespan.
+	Objective Objective
+	// Policy decides when batches fire; nil means BatchOnIdle().
+	Policy BatchPolicy
+	// Reservations blocks processors during absolute time windows for the
+	// whole run. Planned and realized executions both respect them.
+	Reservations []reservation.Reservation
+	// Perturb maps planned task durations to realized ones (user estimates
+	// are rarely exact); nil means exact execution. It must be a pure
+	// function of (taskID, planned) for replays to be deterministic — see
+	// UniformNoise.
+	Perturb func(taskID int, planned float64) float64
+	// Sequential disables the portfolio goroutines (one member at a time).
+	// The committed schedules are identical either way; the switch exists
+	// for debugging and for the determinism tests.
+	Sequential bool
+	// OnBatch, when non-nil, receives every batch report as soon as the
+	// batch completes: the streaming interface for long replays.
+	OnBatch func(BatchReport)
+}
+
+// BatchReport describes one committed batch.
+type BatchReport struct {
+	// Index is the batch number (0-based).
+	Index int
+	// FireTime is the absolute time the batch fired.
+	FireTime float64
+	// Jobs lists the task IDs of the batch, sorted.
+	Jobs []int
+	// Winner is the name of the committed algorithm.
+	Winner string
+	// Candidates reports every portfolio member's score, in portfolio
+	// order.
+	Candidates []Candidate
+	// PlannedMakespan is the batch-relative makespan of the committed plan
+	// (after placement around reservations).
+	PlannedMakespan float64
+	// RealizedMakespan is the batch-relative makespan after simulated
+	// execution with perturbed runtimes.
+	RealizedMakespan float64
+	// Delayed counts tasks of this batch that started later than planned.
+	Delayed int
+	// Cumulative is the metrics snapshot after this batch.
+	Cumulative Metrics
+}
+
+// Report is the outcome of a full run.
+type Report struct {
+	// Schedule holds the realized placements with absolute start times and
+	// realized durations — a trace of the run, not a plan.
+	Schedule *schedule.Schedule
+	// Batches describes every committed batch in order.
+	Batches []BatchReport
+	// Metrics is the final aggregate.
+	Metrics Metrics
+	// Blocked lists, per reservation (in input order), the concrete
+	// processors blocked for it.
+	Blocked [][]int
+}
+
+// Engine is a reusable cluster engine with a fixed configuration.
+type Engine struct {
+	cfg Config
+	// blocked holds the concrete processors assigned to every reservation
+	// (in input order), fixed at construction time.
+	blocked [][]int
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("cluster: machine needs at least one processor")
+	}
+	if len(cfg.Portfolio) == 0 {
+		cfg.Portfolio = DefaultPortfolio(nil)
+	}
+	names := make(map[string]bool, len(cfg.Portfolio))
+	for _, a := range cfg.Portfolio {
+		if a.Name == "" || a.Run == nil {
+			return nil, fmt.Errorf("cluster: portfolio algorithms need a name and a Run function")
+		}
+		if names[a.Name] {
+			return nil, fmt.Errorf("cluster: duplicate portfolio algorithm %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	if err := cfg.Objective.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = BatchOnIdle()
+	}
+	for _, r := range cfg.Reservations {
+		if err := r.Validate(cfg.M); err != nil {
+			return nil, err
+		}
+	}
+	blocked, err := assignReservationProcs(cfg.M, cfg.Reservations)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, blocked: blocked}, nil
+}
+
+// jobInfo caches the per-job quantities the metrics need.
+type jobInfo struct {
+	release float64
+	pmin    float64
+	weight  float64
+}
+
+// Run replays the job stream through the engine.
+func (e *Engine) Run(jobs []online.Job) (*Report, error) {
+	infos := make(map[int]jobInfo, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if err := j.Task.Validate(); err != nil {
+			return nil, err
+		}
+		if j.Release < 0 {
+			return nil, fmt.Errorf("cluster: job %d has negative release date", j.Task.ID)
+		}
+		if _, dup := infos[j.Task.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate job ID %d in the stream", j.Task.ID)
+		}
+		pmin, _ := j.Task.MinTime()
+		infos[j.Task.ID] = jobInfo{release: j.Release, pmin: pmin, weight: j.Task.Weight}
+	}
+
+	busyAbs := make([]listsched.Busy, len(e.cfg.Reservations))
+	for i, r := range e.cfg.Reservations {
+		busyAbs[i] = listsched.Busy{Procs: e.blocked[i], Start: r.Start, End: r.End}
+	}
+
+	report := &Report{Schedule: schedule.New(e.cfg.M), Blocked: e.blocked}
+	acc := newMetricsAccumulator(e.cfg.M)
+	if len(jobs) == 0 {
+		report.Metrics = acc.snapshot()
+		return report, nil
+	}
+
+	sorted := make([]online.Job, len(jobs))
+	copy(sorted, jobs)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].Release != sorted[b].Release {
+			return sorted[a].Release < sorted[b].Release
+		}
+		return sorted[a].Task.ID < sorted[b].Task.ID
+	})
+
+	now := 0.0
+	next := 0
+	var pending []online.Job
+	batchIndex := 0
+	for next < len(sorted) || len(pending) > 0 {
+		for next < len(sorted) && sorted[next].Release <= now+moldable.Eps {
+			pending = append(pending, sorted[next])
+			next++
+		}
+		if len(pending) == 0 {
+			now = sorted[next].Release
+			continue
+		}
+		fire := e.cfg.Policy.NextFire(now, pending)
+		if fire > now+moldable.Eps {
+			if next < len(sorted) && sorted[next].Release < fire {
+				// An arrival lands before the fire time: admit it and ask
+				// the policy again with the larger backlog.
+				now = sorted[next].Release
+				continue
+			}
+			if !math.IsInf(fire, 1) {
+				now = fire
+				continue
+			}
+			// fire is +Inf and (by the check above) the stream is
+			// exhausted: the policy would wait forever, flush the backlog
+			// now.
+		}
+
+		br, realizedMakespan, err := e.runBatch(batchIndex, now, pending, busyAbs, infos, acc, report)
+		if err != nil {
+			return nil, err
+		}
+		report.Batches = append(report.Batches, br)
+		if e.cfg.OnBatch != nil {
+			e.cfg.OnBatch(br)
+		}
+		now += realizedMakespan
+		pending = pending[:0]
+		batchIndex++
+	}
+	report.Metrics = acc.snapshot()
+	return report, nil
+}
+
+// runBatch schedules, places and executes one batch firing at the absolute
+// time now, committing its realized trace into the report.
+func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs []listsched.Busy,
+	infos map[int]jobInfo, acc *metricsAccumulator, report *Report) (BatchReport, float64, error) {
+	tasks := make([]moldable.Task, len(pending))
+	ids := make([]int, len(pending))
+	for i := range pending {
+		tasks[i] = pending[i].Task
+		ids[i] = pending[i].Task.ID
+	}
+	sort.Ints(ids)
+	inst := moldable.NewInstance(e.cfg.M, tasks)
+
+	cands, scheds, win, err := runPortfolio(inst, e.cfg.Portfolio, e.cfg.Objective, e.cfg.Sequential)
+	if err != nil {
+		return BatchReport{}, 0, fmt.Errorf("cluster: batch %d: %w", index, err)
+	}
+	planned := scheds[win]
+
+	// Re-place the winning plan around the reservation windows still open
+	// at (or after) the batch's fire time, expressed batch-relative.
+	if rel := relativeBusy(busyAbs, now); len(rel) > 0 {
+		placed, err := listsched.InsertionWithReservations(e.cfg.M, rel, reservation.PriorityItems(planned))
+		if err != nil {
+			return BatchReport{}, 0, fmt.Errorf("cluster: batch %d: placing around reservations: %w", index, err)
+		}
+		if err := placed.Validate(inst, nil); err != nil {
+			return BatchReport{}, 0, fmt.Errorf("cluster: batch %d: reservation placement is invalid: %w", index, err)
+		}
+		planned = placed
+	}
+
+	simRes, err := sim.Execute(inst, planned, &sim.Options{
+		Perturb: e.cfg.Perturb,
+		Blocked: relativeBlocked(busyAbs, now),
+	})
+	if err != nil {
+		return BatchReport{}, 0, fmt.Errorf("cluster: batch %d: %w", index, err)
+	}
+
+	for _, tr := range simRes.Traces {
+		report.Schedule.Add(schedule.Assignment{
+			TaskID:   tr.TaskID,
+			Start:    now + tr.Start,
+			NProcs:   len(tr.Procs),
+			Procs:    append([]int(nil), tr.Procs...),
+			Duration: tr.End - tr.Start,
+		})
+		info := infos[tr.TaskID]
+		acc.observeJob(info.release, now+tr.End, info.pmin, info.weight)
+	}
+	busyTime := 0.0
+	for _, b := range simRes.BusyTime {
+		busyTime += b
+	}
+	acc.observeBatch(cands[win].Name, busyTime, simRes.Delayed)
+
+	return BatchReport{
+		Index:            index,
+		FireTime:         now,
+		Jobs:             ids,
+		Winner:           cands[win].Name,
+		Candidates:       cands,
+		PlannedMakespan:  planned.Makespan(),
+		RealizedMakespan: simRes.Makespan,
+		Delayed:          simRes.Delayed,
+		Cumulative:       acc.snapshot(),
+	}, simRes.Makespan, nil
+}
+
+// assignReservationProcs picks concrete processors for every reservation,
+// highest indices first (so job packing keeps using the low indices), while
+// keeping temporally overlapping reservations on disjoint processors.
+func assignReservationProcs(m int, reservations []reservation.Reservation) ([][]int, error) {
+	blocked := make([][]int, len(reservations))
+	for i, r := range reservations {
+		taken := make(map[int]bool)
+		for j := 0; j < i; j++ {
+			o := reservations[j]
+			if r.Start < o.End-moldable.Eps && o.Start < r.End-moldable.Eps {
+				for _, p := range blocked[j] {
+					taken[p] = true
+				}
+			}
+		}
+		procs := make([]int, 0, r.Procs)
+		for p := m - 1; p >= 0 && len(procs) < r.Procs; p-- {
+			if !taken[p] {
+				procs = append(procs, p)
+			}
+		}
+		if len(procs) < r.Procs {
+			return nil, fmt.Errorf("cluster: reservations overlapping %q need more than the machine's %d processors", r.String(), m)
+		}
+		blocked[i] = procs
+	}
+	// At least one processor must stay free at every instant, otherwise
+	// the batch in flight during the reservation peak could never place
+	// its jobs.
+	if m-reservation.PeakReserved(reservations) < 1 {
+		return nil, fmt.Errorf("cluster: reservations block the whole %d-processor machine at their peak", m)
+	}
+	return blocked, nil
+}
+
+// relativeBusy shifts the absolute reservation windows into batch-relative
+// time, dropping windows fully in the past.
+func relativeBusy(busyAbs []listsched.Busy, now float64) []listsched.Busy {
+	var rel []listsched.Busy
+	for _, b := range busyAbs {
+		if b.End <= now+moldable.Eps {
+			continue
+		}
+		start := b.Start - now
+		if start < 0 {
+			start = 0
+		}
+		rel = append(rel, listsched.Busy{Procs: b.Procs, Start: start, End: b.End - now})
+	}
+	return rel
+}
+
+// relativeBlocked is relativeBusy converted to the simulator's window type.
+func relativeBlocked(busyAbs []listsched.Busy, now float64) []sim.BlockedWindow {
+	rel := relativeBusy(busyAbs, now)
+	if len(rel) == 0 {
+		return nil
+	}
+	windows := make([]sim.BlockedWindow, len(rel))
+	for i, b := range rel {
+		windows[i] = sim.BlockedWindow{Procs: b.Procs, Start: b.Start, End: b.End}
+	}
+	return windows
+}
+
+// JobsFromArrivals adapts a generated arrival stream to the engine's input.
+func JobsFromArrivals(arrivals []workload.Arrival) []online.Job {
+	jobs := make([]online.Job, len(arrivals))
+	for i, a := range arrivals {
+		jobs[i] = online.Job{Task: a.Task, Release: a.Submit}
+	}
+	return jobs
+}
+
+// UniformNoise builds a deterministic runtime perturbation: every task's
+// realized duration is its planned duration scaled by a uniform factor in
+// [1-frac, 1+frac], drawn from a stream keyed by (seed, taskID) so the
+// result does not depend on simulation order. A frac of 0 returns nil
+// (exact execution); a frac outside [0, 1) is rejected, since any other
+// factor range could produce non-positive durations.
+func UniformNoise(frac float64, seed int64) (func(taskID int, planned float64) float64, error) {
+	if frac == 0 {
+		return nil, nil
+	}
+	if frac < 0 || frac >= 1 || math.IsNaN(frac) {
+		return nil, fmt.Errorf("cluster: noise fraction must lie in [0, 1), got %g", frac)
+	}
+	return func(taskID int, planned float64) float64 {
+		r := rand.New(rand.NewSource(seed ^ (int64(taskID)+1)*0x9E3779B9))
+		return planned * (1 - frac + 2*frac*r.Float64())
+	}, nil
+}

@@ -1,0 +1,99 @@
+package cluster
+
+// Metrics aggregates the realized behaviour of a cluster run. The engine
+// keeps a running accumulator and attaches a snapshot to every batch
+// report, so a long replay can be monitored as it streams.
+type Metrics struct {
+	// Batches is the number of batches committed so far.
+	Batches int
+	// Jobs is the number of jobs completed so far.
+	Jobs int
+	// Makespan is the realized completion time of the last job (absolute).
+	Makespan float64
+	// WeightedCompletion is the realized sum(w_i * C_i) with absolute
+	// completion times.
+	WeightedCompletion float64
+	// MaxFlow is the maximum realized flow time (completion minus
+	// submission) over jobs.
+	MaxFlow float64
+	// MeanStretch is the mean over jobs of the realized flow time divided
+	// by the job's fastest possible execution time.
+	MeanStretch float64
+	// Utilization is the fraction of the processor-time rectangle
+	// [0, Makespan] x M spent executing jobs. Idle waits between batches
+	// count against it, as on a real machine.
+	Utilization float64
+	// Delayed counts the tasks that started later than their planned
+	// (batch-relative) start time during realized execution.
+	Delayed int
+	// Wins counts, per portfolio algorithm, the batches it won.
+	Wins map[string]int
+}
+
+// metricsAccumulator is the running state behind Metrics.
+type metricsAccumulator struct {
+	m          int
+	batches    int
+	jobs       int
+	makespan   float64
+	weightedC  float64
+	maxFlow    float64
+	stretchSum float64
+	stretched  int
+	busy       float64
+	delayed    int
+	wins       map[string]int
+}
+
+func newMetricsAccumulator(m int) *metricsAccumulator {
+	return &metricsAccumulator{m: m, wins: make(map[string]int)}
+}
+
+// observeJob folds one realized job completion into the accumulator.
+func (acc *metricsAccumulator) observeJob(release, completion, pmin, weight float64) {
+	acc.jobs++
+	if completion > acc.makespan {
+		acc.makespan = completion
+	}
+	acc.weightedC += weight * completion
+	flow := completion - release
+	if flow > acc.maxFlow {
+		acc.maxFlow = flow
+	}
+	if pmin > 0 {
+		acc.stretchSum += flow / pmin
+		acc.stretched++
+	}
+}
+
+// observeBatch folds one committed batch into the accumulator.
+func (acc *metricsAccumulator) observeBatch(winner string, busyTime float64, delayed int) {
+	acc.batches++
+	acc.wins[winner]++
+	acc.busy += busyTime
+	acc.delayed += delayed
+}
+
+// snapshot derives the exported metrics. The winner map is copied so a
+// stored snapshot is not mutated by later batches.
+func (acc *metricsAccumulator) snapshot() Metrics {
+	m := Metrics{
+		Batches:            acc.batches,
+		Jobs:               acc.jobs,
+		Makespan:           acc.makespan,
+		WeightedCompletion: acc.weightedC,
+		MaxFlow:            acc.maxFlow,
+		Delayed:            acc.delayed,
+		Wins:               make(map[string]int, len(acc.wins)),
+	}
+	for k, v := range acc.wins {
+		m.Wins[k] = v
+	}
+	if acc.stretched > 0 {
+		m.MeanStretch = acc.stretchSum / float64(acc.stretched)
+	}
+	if acc.makespan > 0 && acc.m > 0 {
+		m.Utilization = acc.busy / (acc.makespan * float64(acc.m))
+	}
+	return m
+}

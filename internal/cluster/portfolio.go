@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"bicriteria/internal/baselines"
+	"bicriteria/internal/core"
+	"bicriteria/internal/lowerbound"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/schedule"
+)
+
+// Algorithm is one member of the portfolio: any off-line scheduler for a
+// moldable instance. Run must be deterministic (seeded internally) for the
+// engine's replay guarantees to hold.
+type Algorithm struct {
+	// Name identifies the algorithm in reports and winner counts.
+	Name string
+	// Run schedules the batch instance.
+	Run func(inst *moldable.Instance) (*schedule.Schedule, error)
+}
+
+// DEMTAlgorithm wraps the paper's bi-criteria scheduler as a portfolio
+// member. A nil options pointer gives the paper's defaults.
+func DEMTAlgorithm(opts *core.Options) Algorithm {
+	return Algorithm{Name: "demt", Run: func(inst *moldable.Instance) (*schedule.Schedule, error) {
+		res, err := core.Schedule(inst, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Schedule, nil
+	}}
+}
+
+// DefaultPortfolio returns the paper's full comparison as a portfolio: DEMT
+// plus every baseline of the evaluation section. A nil options pointer
+// gives DEMT the paper's defaults.
+func DefaultPortfolio(opts *core.Options) []Algorithm {
+	return []Algorithm{
+		DEMTAlgorithm(opts),
+		{Name: "gang", Run: baselines.Gang},
+		{Name: "seq-lpt", Run: baselines.Sequential},
+		{Name: "list-saf", Run: func(inst *moldable.Instance) (*schedule.Schedule, error) {
+			return baselines.ListGraham(inst, baselines.SmallestAreaFirst)
+		}},
+		{Name: "list-wlpt", Run: func(inst *moldable.Instance) (*schedule.Schedule, error) {
+			return baselines.ListGraham(inst, baselines.WeightedLPT)
+		}},
+	}
+}
+
+// ObjectiveKind selects the criterion the engine minimizes when committing
+// a batch schedule.
+type ObjectiveKind int
+
+const (
+	// ObjectiveMakespan commits the schedule with the smallest makespan.
+	ObjectiveMakespan ObjectiveKind = iota
+	// ObjectiveWeightedCompletion commits the schedule with the smallest
+	// weighted sum of completion times.
+	ObjectiveWeightedCompletion
+	// ObjectiveCombined commits the schedule minimizing the convex
+	// combination Alpha * Cmax/LB(Cmax) + (1-Alpha) * sum wC / LB(sum wC):
+	// both criteria normalized by their per-batch lower bounds so the
+	// combination is scale-free, as in the paper's bi-criteria analysis.
+	ObjectiveCombined
+)
+
+// String returns the CLI name of the objective.
+func (k ObjectiveKind) String() string {
+	switch k {
+	case ObjectiveMakespan:
+		return "makespan"
+	case ObjectiveWeightedCompletion:
+		return "minsum"
+	case ObjectiveCombined:
+		return "combined"
+	default:
+		return fmt.Sprintf("ObjectiveKind(%d)", int(k))
+	}
+}
+
+// Objective configures the commit criterion. The zero value minimizes the
+// makespan.
+type Objective struct {
+	Kind ObjectiveKind
+	// Alpha is the weight of the (normalized) makespan in the combined
+	// objective; it must lie in [0, 1]. Ignored by the pure objectives.
+	Alpha float64
+}
+
+// Validate checks the objective.
+func (o Objective) Validate() error {
+	switch o.Kind {
+	case ObjectiveMakespan, ObjectiveWeightedCompletion:
+		return nil
+	case ObjectiveCombined:
+		if o.Alpha < 0 || o.Alpha > 1 {
+			return fmt.Errorf("cluster: combined objective needs Alpha in [0,1], got %g", o.Alpha)
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: unknown objective kind %d", int(o.Kind))
+}
+
+// batchBounds holds the per-batch lower bounds used to normalize the
+// combined objective.
+type batchBounds struct {
+	cmax   float64
+	minsum float64
+}
+
+// score evaluates a candidate schedule under the objective (lower is
+// better).
+func (o Objective) score(inst *moldable.Instance, s *schedule.Schedule, lb batchBounds) float64 {
+	switch o.Kind {
+	case ObjectiveWeightedCompletion:
+		return s.WeightedCompletion(inst)
+	case ObjectiveCombined:
+		cmax := s.Makespan()
+		wc := s.WeightedCompletion(inst)
+		if lb.cmax > 0 {
+			cmax /= lb.cmax
+		}
+		if lb.minsum > 0 {
+			wc /= lb.minsum
+		}
+		return o.Alpha*cmax + (1-o.Alpha)*wc
+	default:
+		return s.Makespan()
+	}
+}
+
+// Candidate reports one portfolio member's outcome on a batch.
+type Candidate struct {
+	// Name is the algorithm's name.
+	Name string
+	// Score is the objective value (lower is better); NaN when the
+	// algorithm failed.
+	Score float64
+	// Makespan and WeightedCompletion are the raw criteria of the
+	// candidate schedule.
+	Makespan           float64
+	WeightedCompletion float64
+	// Err carries the algorithm's failure, if any.
+	Err error
+}
+
+// runPortfolio schedules the batch with every portfolio member — in
+// parallel goroutines unless sequential is requested — scores the valid
+// candidates under the objective and returns the candidates (in portfolio
+// order), the produced schedules, and the winner index. The winner is the
+// lowest score, ties broken by portfolio order, so the outcome is
+// bit-identical whether the members run concurrently or not.
+func runPortfolio(inst *moldable.Instance, algos []Algorithm, obj Objective, sequential bool) ([]Candidate, []*schedule.Schedule, int, error) {
+	cands := make([]Candidate, len(algos))
+	scheds := make([]*schedule.Schedule, len(algos))
+	runOne := func(i int) {
+		s, err := algos[i].Run(inst)
+		if err == nil {
+			err = s.Validate(inst, nil)
+		}
+		if err != nil {
+			cands[i] = Candidate{Name: algos[i].Name, Err: fmt.Errorf("cluster: algorithm %s: %w", algos[i].Name, err)}
+			return
+		}
+		cands[i] = Candidate{
+			Name:               algos[i].Name,
+			Makespan:           s.Makespan(),
+			WeightedCompletion: s.WeightedCompletion(inst),
+		}
+		scheds[i] = s
+	}
+	if sequential {
+		for i := range algos {
+			runOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(algos))
+		for i := range algos {
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	lb := batchBounds{}
+	if obj.Kind == ObjectiveCombined {
+		lb.cmax = lowerbound.Makespan(inst)
+		lb.minsum = lowerbound.MinsumSquashedArea(inst)
+	}
+	winner := -1
+	for i := range cands {
+		if scheds[i] == nil {
+			cands[i].Score = math.NaN()
+			continue
+		}
+		cands[i].Score = obj.score(inst, scheds[i], lb)
+		if winner < 0 || cands[i].Score < cands[winner].Score {
+			winner = i
+		}
+	}
+	if winner < 0 {
+		err := fmt.Errorf("cluster: every portfolio algorithm failed on the batch")
+		for i := range cands {
+			if cands[i].Err != nil {
+				err = fmt.Errorf("%w; %v", err, cands[i].Err)
+			}
+		}
+		return cands, scheds, -1, err
+	}
+	return cands, scheds, winner, nil
+}

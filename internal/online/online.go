@@ -47,6 +47,11 @@ type Result struct {
 	Makespan float64
 	// MaxFlow is the maximum flow time (completion minus release) over jobs.
 	MaxFlow float64
+	// MeanStretch is the mean over jobs of the flow time divided by the
+	// job's fastest possible execution time (its minimum processing time
+	// over allocations): how much the batching slows a job down compared to
+	// running alone on an empty machine.
+	MeanStretch float64
 	// WeightedCompletion is sum(w_i * C_i) with absolute completion times.
 	WeightedCompletion float64
 }
@@ -78,11 +83,10 @@ func Schedule(m int, jobs []Job, offline OfflineScheduler) (*Result, error) {
 	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Release < pending[b].Release })
 
 	res := &Result{Schedule: schedule.New(m)}
-	releases := make(map[int]float64, len(jobs))
-	weights := make(map[int]float64, len(jobs))
-	for _, j := range jobs {
-		releases[j.Task.ID] = j.Release
-		weights[j.Task.ID] = j.Task.Weight
+	releases := ReleaseDates(jobs)
+	tasks := make(map[int]*moldable.Task, len(jobs))
+	for i := range jobs {
+		tasks[jobs[i].Task.ID] = &jobs[i].Task
 	}
 
 	now := 0.0
@@ -121,12 +125,21 @@ func Schedule(m int, jobs []Job, offline OfflineScheduler) (*Result, error) {
 	}
 
 	res.Makespan = res.Schedule.Makespan()
+	stretchSum, stretchCount := 0.0, 0
 	for _, a := range res.Schedule.Assignments {
+		t := tasks[a.TaskID]
 		flow := a.End() - releases[a.TaskID]
 		if flow > res.MaxFlow {
 			res.MaxFlow = flow
 		}
-		res.WeightedCompletion += weights[a.TaskID] * a.End()
+		res.WeightedCompletion += t.Weight * a.End()
+		if pmin, _ := t.MinTime(); pmin > 0 {
+			stretchSum += flow / pmin
+			stretchCount++
+		}
+	}
+	if stretchCount > 0 {
+		res.MeanStretch = stretchSum / float64(stretchCount)
 	}
 	return res, nil
 }

@@ -156,3 +156,30 @@ func TestPropertyOnlineValidForRandomJobSets(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOnlineMeanStretch(t *testing.T) {
+	jobs := testJobs()
+	res, err := Schedule(4, jobs, demtOffline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanStretch < 1-1e-9 {
+		t.Fatalf("mean stretch %g cannot be below 1", res.MeanStretch)
+	}
+	// Recompute from the schedule: mean over jobs of flow / fastest time.
+	releases := ReleaseDates(jobs)
+	byID := make(map[int]moldable.Task, len(jobs))
+	for _, j := range jobs {
+		byID[j.Task.ID] = j.Task
+	}
+	sum := 0.0
+	for _, a := range res.Schedule.Assignments {
+		task := byID[a.TaskID]
+		pmin, _ := task.MinTime()
+		sum += (a.End() - releases[a.TaskID]) / pmin
+	}
+	want := sum / float64(len(jobs))
+	if diff := res.MeanStretch - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean stretch %g, recomputed %g", res.MeanStretch, want)
+	}
+}

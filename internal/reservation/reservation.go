@@ -87,7 +87,7 @@ func Schedule(inst *moldable.Instance, reservations []Reservation, opts *Options
 	}
 	// Peak simultaneous reservation must leave at least one processor for
 	// the jobs, otherwise the largest jobs may never fit.
-	if peak := peakReserved(reservations); peak >= inst.M {
+	if peak := PeakReserved(reservations); peak >= inst.M {
 		return nil, fmt.Errorf("reservation: %d processors reserved simultaneously on a %d-processor machine leaves nothing for the jobs", peak, inst.M)
 	}
 
@@ -117,7 +117,7 @@ func Schedule(inst *moldable.Instance, reservations []Reservation, opts *Options
 	// priority order (start time, then longest first) and the allotments,
 	// and let the insertion scheduler fill the holes left by the blocked
 	// windows.
-	items := itemsInPriorityOrder(demtRes.Schedule)
+	items := PriorityItems(demtRes.Schedule)
 	placed, err := listsched.InsertionWithReservations(inst.M, busy, items)
 	if err != nil {
 		return nil, err
@@ -125,9 +125,9 @@ func Schedule(inst *moldable.Instance, reservations []Reservation, opts *Options
 	return &Result{Schedule: placed, Blocked: blocked, DEMT: demtRes}, nil
 }
 
-// peakReserved returns the maximum number of simultaneously reserved
+// PeakReserved returns the maximum number of simultaneously reserved
 // processors.
-func peakReserved(reservations []Reservation) int {
+func PeakReserved(reservations []Reservation) int {
 	type event struct {
 		t     float64
 		delta int
@@ -152,10 +152,12 @@ func peakReserved(reservations []Reservation) int {
 	return peak
 }
 
-// itemsInPriorityOrder converts a schedule into list-scheduler items ordered
-// by start time (then by decreasing duration, then task ID): the priority
-// order the compaction of the original schedule expressed.
-func itemsInPriorityOrder(s *schedule.Schedule) []listsched.Item {
+// PriorityItems converts a schedule into list-scheduler items ordered by
+// start time (then by decreasing duration, then task ID): the priority
+// order the compaction of the original schedule expressed. It is used to
+// re-place an existing plan around reserved windows, here and by the
+// cluster engine.
+func PriorityItems(s *schedule.Schedule) []listsched.Item {
 	assignments := make([]schedule.Assignment, len(s.Assignments))
 	copy(assignments, s.Assignments)
 	sort.SliceStable(assignments, func(a, b int) bool {

@@ -25,6 +25,18 @@ type Options struct {
 	// default (false) delays the task until its processors are free, as a
 	// real runtime system would.
 	Strict bool
+	// Blocked lists processor windows that are unavailable during the run
+	// (node reservations, maintenance). A task whose realized execution
+	// would overlap a blocked window on one of its processors is delayed
+	// past the window, exactly as the runtime system of the paper's
+	// deployment would hold a job for an advance reservation.
+	Blocked []BlockedWindow
+}
+
+// BlockedWindow makes a set of processors unavailable during [Start, End).
+type BlockedWindow struct {
+	Procs      []int
+	Start, End float64
 }
 
 // TaskTrace records the realized execution of one task.
@@ -84,6 +96,11 @@ func Execute(inst *moldable.Instance, sched *schedule.Schedule, opts *Options) (
 		return ax.TaskID < ay.TaskID
 	})
 
+	blocked, err := blockedByProc(opts.Blocked, inst.M)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{BusyTime: make([]float64, inst.M)}
 	freeAt := make([]float64, inst.M)
 	for _, i := range order {
@@ -97,16 +114,21 @@ func Execute(inst *moldable.Instance, sched *schedule.Schedule, opts *Options) (
 				start = freeAt[p]
 			}
 		}
-		delayed := start > a.Start+moldable.Eps
-		if delayed && opts.Strict {
-			return nil, fmt.Errorf("sim: task %d cannot start at its planned time %g (processors busy until %g)", a.TaskID, a.Start, start)
-		}
 		duration := a.Duration
 		if opts.Perturb != nil {
 			duration = opts.Perturb(a.TaskID, a.Duration)
 			if duration <= 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
 				return nil, fmt.Errorf("sim: perturbation produced an invalid duration %g for task %d", duration, a.TaskID)
 			}
+		}
+		busyUntil := start
+		start = delayPastBlocked(blocked, a.Procs, start, duration)
+		delayed := start > a.Start+moldable.Eps
+		if delayed && opts.Strict {
+			if start > busyUntil {
+				return nil, fmt.Errorf("sim: task %d cannot start at its planned time %g (processors blocked until %g)", a.TaskID, a.Start, start)
+			}
+			return nil, fmt.Errorf("sim: task %d cannot start at its planned time %g (processors busy until %g)", a.TaskID, a.Start, start)
 		}
 		end := start + duration
 		for _, p := range a.Procs {
@@ -132,6 +154,50 @@ func Execute(inst *moldable.Instance, sched *schedule.Schedule, opts *Options) (
 	}
 	sort.SliceStable(res.Traces, func(a, b int) bool { return res.Traces[a].Start < res.Traces[b].Start })
 	return res, nil
+}
+
+// blockedByProc indexes the blocked windows by processor, sorted by start.
+func blockedByProc(windows []BlockedWindow, m int) (map[int][]BlockedWindow, error) {
+	if len(windows) == 0 {
+		return nil, nil
+	}
+	perProc := make(map[int][]BlockedWindow)
+	for _, w := range windows {
+		if w.End <= w.Start {
+			return nil, fmt.Errorf("sim: blocked window has empty or negative span [%g, %g)", w.Start, w.End)
+		}
+		for _, p := range w.Procs {
+			if p < 0 || p >= m {
+				return nil, fmt.Errorf("sim: blocked window uses processor %d outside the machine", p)
+			}
+			perProc[p] = append(perProc[p], w)
+		}
+	}
+	for p := range perProc {
+		sort.SliceStable(perProc[p], func(a, b int) bool { return perProc[p][a].Start < perProc[p][b].Start })
+	}
+	return perProc, nil
+}
+
+// delayPastBlocked pushes the start time until [start, start+duration) is
+// clear of every blocked window on every processor of the task. Pushing past
+// one window can land inside another, so the sweep repeats until stable.
+func delayPastBlocked(blocked map[int][]BlockedWindow, procs []int, start, duration float64) float64 {
+	if len(blocked) == 0 {
+		return start
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range procs {
+			for _, w := range blocked[p] {
+				if start < w.End-moldable.Eps && start+duration > w.Start+moldable.Eps {
+					start = w.End
+					changed = true
+				}
+			}
+		}
+	}
+	return start
 }
 
 // Utilization returns the average fraction of the machine kept busy until

@@ -158,3 +158,56 @@ func TestPropertySimulatedDEMTSchedulesMatchPlanExactly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExecuteDelaysPastBlockedWindows(t *testing.T) {
+	inst := testInstance()
+	s := plannedSchedule()
+	// Processor 2 is reserved during [1, 6): task 1 (planned [0, 4) on proc
+	// 2) would overlap, so it must be pushed past the window, and task 2
+	// (all four processors) must in turn wait for it.
+	res, err := Execute(inst, s, &Options{
+		Blocked: []BlockedWindow{{Procs: []int{2}, Start: 1, End: 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Traces {
+		for _, p := range tr.Procs {
+			if p == 2 && tr.Start < 6-moldable.Eps && tr.End > 1+moldable.Eps {
+				t.Fatalf("task %d runs on reserved processor 2 during [%g, %g)", tr.TaskID, tr.Start, tr.End)
+			}
+		}
+		if tr.TaskID == 1 && math.Abs(tr.Start-6) > 1e-9 {
+			t.Fatalf("task 1 should start at the window end 6, got %g", tr.Start)
+		}
+	}
+	if res.Delayed == 0 {
+		t.Fatalf("blocked windows should count as delays")
+	}
+
+	// Chained windows: pushing past the first must not land inside the
+	// second.
+	s = plannedSchedule()
+	res, err = Execute(inst, s, &Options{
+		Blocked: []BlockedWindow{
+			{Procs: []int{2}, Start: 1, End: 6},
+			{Procs: []int{2}, Start: 6.5, End: 12},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Traces {
+		if tr.TaskID == 1 && math.Abs(tr.Start-12) > 1e-9 {
+			t.Fatalf("task 1 should cascade past both windows to 12, got %g", tr.Start)
+		}
+	}
+
+	// Malformed windows are rejected.
+	if _, err := Execute(inst, plannedSchedule(), &Options{Blocked: []BlockedWindow{{Procs: []int{9}, Start: 0, End: 1}}}); err == nil {
+		t.Fatalf("out-of-range blocked processor must fail")
+	}
+	if _, err := Execute(inst, plannedSchedule(), &Options{Blocked: []BlockedWindow{{Procs: []int{0}, Start: 2, End: 2}}}); err == nil {
+		t.Fatalf("empty blocked window must fail")
+	}
+}
