@@ -24,6 +24,7 @@ import (
 	"bicriteria/internal/core"
 	"bicriteria/internal/dualapprox"
 	"bicriteria/internal/experiment"
+	"bicriteria/internal/grid"
 	"bicriteria/internal/knapsack"
 	"bicriteria/internal/listsched"
 	"bicriteria/internal/lowerbound"
@@ -346,5 +347,59 @@ func BenchmarkGrahamList(b *testing.B) {
 		if _, err := listsched.Graham(200, items); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGridReplay measures the grid federation replaying one fixed
+// 500-job burst-heavy stream across 1, 2, 4 and 8 cluster shards: the
+// scale-up of the concurrent meta-scheduler pipeline. Shards replay in
+// goroutine-parallel, so on a machine with at least as many cores as
+// shards the wall clock shrinks as clusters are added while the routed
+// work stays fixed; on fewer cores the benchmark instead measures the
+// pipeline's overhead (the reported batches metric shows how the same
+// stream fissions across shard counts).
+func BenchmarkGridReplay(b *testing.B) {
+	const perCluster = 32
+	arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Workload:  workload.Config{Kind: workload.Mixed, M: perCluster, N: 500, Seed: 42},
+		Rate:      100,
+		BurstSize: 125,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := cluster.JobsFromArrivals(arrivals)
+	for _, clusters := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {
+			specs := make([]grid.ClusterSpec, clusters)
+			for i := range specs {
+				perturb, err := cluster.UniformNoise(0.2, int64(42+i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				specs[i] = grid.ClusterSpec{M: perCluster, Perturb: perturb}
+			}
+			fed, err := grid.New(grid.Config{Clusters: specs, Routing: grid.LeastBacklog()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var report *grid.Report
+			for i := 0; i < b.N; i++ {
+				report, err = fed.Run(jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			batches := 0
+			for _, pc := range report.Metrics.PerCluster {
+				batches += pc.Batches
+			}
+			b.ReportMetric(float64(batches), "batches")
+			b.ReportMetric(report.Metrics.Utilization, "utilization")
+			b.ReportMetric(report.Metrics.MeanStretch, "mean_stretch")
+			b.ReportMetric(report.Metrics.StretchP95, "p95_stretch")
+		})
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"bicriteria/internal/core"
 	"bicriteria/internal/dualapprox"
 	"bicriteria/internal/experiment"
+	"bicriteria/internal/grid"
 	"bicriteria/internal/lowerbound"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/online"
@@ -282,6 +283,9 @@ type ClusterCandidate = cluster.Candidate
 // ClusterObjective selects the criterion the engine minimizes per batch.
 type ClusterObjective = cluster.Objective
 
+// ClusterObjectiveKind enumerates the commit criteria.
+type ClusterObjectiveKind = cluster.ObjectiveKind
+
 // ClusterBatchPolicy decides when the engine fires the next batch.
 type ClusterBatchPolicy = cluster.BatchPolicy
 
@@ -340,11 +344,31 @@ func UniformRuntimeNoise(frac float64, seed int64) (func(taskID int, planned flo
 // Arrival is a generated job with its submission time.
 type Arrival = workload.Arrival
 
-// ArrivalConfig drives the Poisson/burst arrival generator.
+// ArrivalConfig drives the arrival generator: Poisson or heavy-tailed
+// inter-arrival gaps, optional bursts, optional heavy-tailed runtime
+// scaling.
 type ArrivalConfig = workload.ArrivalConfig
 
+// ArrivalDistribution selects a sampling law for inter-arrival gaps and
+// runtime multipliers.
+type ArrivalDistribution = workload.Distribution
+
+// Arrival and runtime distributions.
+const (
+	DistDefault     = workload.DistDefault
+	DistExponential = workload.DistExponential
+	DistLognormal   = workload.DistLognormal
+	DistWeibull     = workload.DistWeibull
+)
+
+// ParseArrivalDistribution converts a string such as "lognormal" into an
+// ArrivalDistribution.
+func ParseArrivalDistribution(s string) (ArrivalDistribution, error) {
+	return workload.ParseDistribution(s)
+}
+
 // GenerateArrivals builds a deterministic on-line job stream: tasks from a
-// workload family, submitted at Poisson (or bursty Poisson) instants.
+// workload family, submitted at Poisson (or bursty, heavy-tailed) instants.
 func GenerateArrivals(cfg ArrivalConfig) ([]Arrival, error) { return workload.GenerateArrivals(cfg) }
 
 // ArrivalJobs adapts an arrival stream to the on-line and cluster inputs.
@@ -364,6 +388,73 @@ type SimulationBlockedWindow = sim.BlockedWindow
 func Simulate(inst *Instance, sched *Schedule, opts *SimulationOptions) (*SimulationResult, error) {
 	return sim.Execute(inst, sched, opts)
 }
+
+// ---------------------------------------------------------------------------
+// Grid federation: many clusters behind one meta-scheduler
+// ---------------------------------------------------------------------------
+
+// GridClusterSpec configures one shard of a grid federation: processor
+// count, portfolio, objective, batching policy, reservations and runtime
+// perturbation.
+type GridClusterSpec = grid.ClusterSpec
+
+// GridConfig drives a grid federation (shards, routing policy, bounded
+// dispatch queues, admission control).
+type GridConfig = grid.Config
+
+// GridFederation runs N independent cluster engines as concurrent shards
+// behind a meta-scheduler routing one arrival stream.
+type GridFederation = grid.Federation
+
+// GridReport is the outcome of a grid run: routing decisions, per-shard
+// cluster reports and the grid-wide aggregate.
+type GridReport = grid.Report
+
+// GridMetrics aggregates a grid run: makespan, weighted completion,
+// utilization, stretch and bounded-slowdown percentiles, per-cluster
+// summaries.
+type GridMetrics = grid.Metrics
+
+// GridClusterSummary is the grid-level digest of one shard's run.
+type GridClusterSummary = grid.ClusterSummary
+
+// GridDecision records one routing decision of the meta-scheduler.
+type GridDecision = grid.Decision
+
+// GridRoutingPolicy decides which cluster receives each job of the stream.
+type GridRoutingPolicy = grid.RoutingPolicy
+
+// NewGrid validates the configuration and builds a federation, including
+// every shard engine.
+func NewGrid(cfg GridConfig) (*GridFederation, error) { return grid.New(cfg) }
+
+// RunGrid builds a federation and replays the job stream through it.
+func RunGrid(cfg GridConfig, jobs []OnlineJob) (*GridReport, error) {
+	f, err := grid.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run(jobs)
+}
+
+// GridRoundRobin cycles jobs over the clusters open for admission.
+func GridRoundRobin() GridRoutingPolicy { return grid.RoundRobin() }
+
+// GridLeastBacklog routes each job to the cluster with the smallest
+// estimated per-processor backlog.
+func GridLeastBacklog() GridRoutingPolicy { return grid.LeastBacklog() }
+
+// GridLowerBoundAware routes each job to the cluster whose DEMT makespan
+// lower bound grows least by admitting it.
+func GridLowerBoundAware() GridRoutingPolicy { return grid.LowerBoundAware() }
+
+// GridMoldabilityAware routes each job to the smallest cluster fitting its
+// useful parallelism.
+func GridMoldabilityAware() GridRoutingPolicy { return grid.MoldabilityAware() }
+
+// ParseGridRoutingPolicy converts a string such as "least-backlog" into a
+// routing policy.
+func ParseGridRoutingPolicy(s string) (GridRoutingPolicy, error) { return grid.ParsePolicy(s) }
 
 // ---------------------------------------------------------------------------
 // Node reservations (section 5 of the paper, "on-going works")

@@ -199,6 +199,9 @@ func printReport(out io.Writer, cfg *bicriteria.ClusterConfig, report *bicriteri
 	fmt.Fprintf(out, "  weighted completion   %.2f\n", met.WeightedCompletion)
 	fmt.Fprintf(out, "  max flow              %.2f\n", met.MaxFlow)
 	fmt.Fprintf(out, "  mean stretch          %.2f\n", met.MeanStretch)
+	fmt.Fprintf(out, "  stretch p50/p95/p99   %.2f / %.2f / %.2f\n", met.StretchP50, met.StretchP95, met.StretchP99)
+	fmt.Fprintf(out, "  bounded slowdown      %.2f (p50 %.2f, p95 %.2f, p99 %.2f)\n",
+		met.MeanBoundedSlowdown, met.BoundedSlowdownP50, met.BoundedSlowdownP95, met.BoundedSlowdownP99)
 	fmt.Fprintf(out, "  utilization           %.1f%%\n", 100*met.Utilization)
 	fmt.Fprintf(out, "  delayed tasks         %d\n", met.Delayed)
 	if len(cfg.Reservations) > 0 {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllRoutingPolicies(t *testing.T) {
+	for _, routing := range []string{"round-robin", "least-backlog", "lower-bound", "moldability"} {
+		var buf bytes.Buffer
+		args := []string{"-clusters", "16,8", "-n", "30", "-rate", "4", "-routing", routing, "-noise", "0.2"}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", routing, err)
+		}
+		out := buf.String()
+		for _, want := range []string{"grid makespan", "stretch p50/p95/p99", "bounded slowdown", "per-cluster:", "cluster 0", "cluster 1"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: missing %q in output:\n%s", routing, want, out)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossModes(t *testing.T) {
+	args := []string{"-clusters", "16,8,8", "-n", "40", "-rate", "5", "-burst", "4",
+		"-routing", "least-backlog", "-noise", "0.2", "-admit", "30", "-v"}
+	var concurrent, sequential bytes.Buffer
+	if err := run(args, &concurrent); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-sequential"}, args...), &sequential); err != nil {
+		t.Fatal(err)
+	}
+	if concurrent.String() != sequential.String() {
+		t.Fatalf("concurrent and sequential grid replays differ:\n--- concurrent ---\n%s--- sequential ---\n%s",
+			concurrent.String(), sequential.String())
+	}
+}
+
+func TestRunHeavyTailedArrivals(t *testing.T) {
+	for _, arrival := range []string{"lognormal", "weibull"} {
+		var buf bytes.Buffer
+		args := []string{"-clusters", "8,8", "-n", "25", "-arrival", arrival,
+			"-runtime-tail", "lognormal", "-routing", "round-robin"}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+	}
+}
+
+func TestRunJSONAndCSVExports(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	csvPath := filepath.Join(dir, "clusters.csv")
+	var buf bytes.Buffer
+	args := []string{"-clusters", "16,8", "-n", "25", "-routing", "moldability",
+		"-json", jsonPath, "-csv", csvPath}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Policy  string `json:"policy"`
+		Metrics struct {
+			Jobs     int     `json:"Jobs"`
+			Makespan float64 `json:"Makespan"`
+		} `json:"metrics"`
+		Decisions []struct {
+			JobID   int `json:"JobID"`
+			Cluster int `json:"Cluster"`
+		} `json:"decisions"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("bad JSON report: %v", err)
+	}
+	if report.Policy != "moldability" || report.Metrics.Jobs != 25 || len(report.Decisions) != 25 {
+		t.Fatalf("unexpected JSON report: policy=%q jobs=%d decisions=%d",
+			report.Policy, report.Metrics.Jobs, len(report.Decisions))
+	}
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + two clusters
+		t.Fatalf("CSV has %d rows, want 3", len(records))
+	}
+	if records[0][0] != "cluster" || records[1][0] != "0" || records[2][0] != "1" {
+		t.Fatalf("unexpected CSV rows: %v", records)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-clusters", ""},
+		{"-clusters", "16,zero"},
+		{"-clusters", "-4"},
+		{"-routing", "nonsense"},
+		{"-kind", "nonsense"},
+		{"-arrival", "zipf"},
+		{"-batch", "nonsense"},
+		{"-objective", "nonsense"},
+		{"-noise", "2"},
+		{"-admit", "-1"},
+	} {
+		if err := run(append(args, "-n", "5"), &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

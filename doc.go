@@ -11,6 +11,16 @@
 // pluggable policies and schedules every batch with a concurrent algorithm
 // portfolio.
 //
+// On top of the single-cluster engine sits a sharded grid federation
+// (internal/grid, exported as the Grid* identifiers): N independent
+// cluster engines with heterogeneous sizes, reservations and noise seeds
+// run as concurrent shards behind a meta-scheduler that routes one arrival
+// stream under pluggable policies (round-robin, least-backlog,
+// lower-bound-aware, moldability-aware) with bounded dispatch queues and
+// per-cluster admission control. Grid replays are deterministic: a
+// concurrent run is bit-identical to a sequential one. See examples/grid
+// for a complete program.
+//
 // The root package is a thin facade over the internal packages: it exposes
 // the task and schedule model, the DEMT scheduler, the baselines, the lower
 // bounds, the workload generators and the simulator under one import path.

@@ -2,6 +2,7 @@ package bicriteria
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -86,5 +87,186 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 	replay := NewInstance(12, tasks)
 	if err := onlineRes.Schedule.Validate(replay, &ValidateOptions{ReleaseDates: releases}); err != nil {
 		t.Fatalf("replayed schedule invalid: %v", err)
+	}
+}
+
+// facadeStream builds a deterministic bursty stream through the public API.
+func facadeStream(t *testing.T, m, n int, seed int64) []OnlineJob {
+	t.Helper()
+	arrivals, err := GenerateArrivals(ArrivalConfig{
+		Workload:  WorkloadConfig{Kind: WorkloadMixed, M: m, N: n, Seed: seed},
+		Rate:      3,
+		BurstSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ArrivalJobs(arrivals)
+}
+
+// TestFacadeClusterConfigValidation exercises every rejection path of the
+// Cluster* wrappers through the public API.
+func TestFacadeClusterConfigValidation(t *testing.T) {
+	demt := ClusterDEMTAlgorithm(nil)
+	cases := []struct {
+		name string
+		cfg  ClusterConfig
+	}{
+		{"zero processors", ClusterConfig{M: 0}},
+		{"nameless algorithm", ClusterConfig{M: 8, Portfolio: []ClusterAlgorithm{{Run: demt.Run}}}},
+		{"algorithm without Run", ClusterConfig{M: 8, Portfolio: []ClusterAlgorithm{{Name: "x"}}}},
+		{"duplicate algorithm names", ClusterConfig{M: 8, Portfolio: []ClusterAlgorithm{demt, demt}}},
+		{"alpha above 1", ClusterConfig{M: 8, Objective: ClusterObjective{Kind: ClusterObjectiveCombined, Alpha: 2}}},
+		{"alpha below 0", ClusterConfig{M: 8, Objective: ClusterObjective{Kind: ClusterObjectiveCombined, Alpha: -0.1}}},
+		{"unknown objective", ClusterConfig{M: 8, Objective: ClusterObjective{Kind: ClusterObjectiveKind(99)}}},
+		{"reservation too wide", ClusterConfig{M: 8, Reservations: []Reservation{{Procs: 9, Start: 0, End: 5}}}},
+		{"reservation blocks machine", ClusterConfig{M: 8, Reservations: []Reservation{{Procs: 8, Start: 0, End: 5}}}},
+		{"reversed reservation window", ClusterConfig{M: 8, Reservations: []Reservation{{Procs: 2, Start: 5, End: 1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewClusterEngine(tc.cfg); err == nil {
+				t.Fatalf("NewClusterEngine accepted %s", tc.name)
+			}
+			if _, err := RunCluster(tc.cfg, nil); err == nil {
+				t.Fatalf("RunCluster accepted %s", tc.name)
+			}
+		})
+	}
+
+	// Bad policy and noise constructors.
+	if _, err := FixedIntervalPolicy(0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := AdaptiveBacklogPolicy(0, 10); err == nil {
+		t.Fatal("zero work target accepted")
+	}
+	if _, err := AdaptiveBacklogPolicy(10, -1); err == nil {
+		t.Fatal("negative max delay accepted")
+	}
+	if _, err := UniformRuntimeNoise(1.5, 1); err == nil {
+		t.Fatal("noise fraction above 1 accepted")
+	}
+	if f, err := UniformRuntimeNoise(0, 1); err != nil || f != nil {
+		t.Fatalf("zero noise should yield a nil perturbation, got %v, %v", f != nil, err)
+	}
+}
+
+// TestFacadeClusterDeterministicReplay drives the engine end-to-end through
+// the facade under every objective and batching policy, asserting that a
+// parallel replay is bit-identical to a sequential one and that repeated
+// runs agree.
+func TestFacadeClusterDeterministicReplay(t *testing.T) {
+	jobs := facadeStream(t, 24, 60, 21)
+	interval, err := FixedIntervalPolicy(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := AdaptiveBacklogPolicy(96, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		objective ClusterObjective
+		policy    ClusterBatchPolicy
+	}{
+		{"makespan/idle", ClusterObjective{Kind: ClusterObjectiveMakespan}, BatchOnIdle()},
+		{"minsum/interval", ClusterObjective{Kind: ClusterObjectiveWeightedCompletion}, interval},
+		{"combined/adaptive", ClusterObjective{Kind: ClusterObjectiveCombined, Alpha: 0.5}, adaptive},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			noise, err := UniformRuntimeNoise(0.2, 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := ClusterConfig{
+				M:            24,
+				Portfolio:    ClusterPortfolio(&DEMTOptions{Seed: 21}),
+				Objective:    tc.objective,
+				Policy:       tc.policy,
+				Reservations: []Reservation{{Name: "maint", Procs: 6, Start: 4, End: 14}},
+				Perturb:      noise,
+			}
+			seqCfg := base
+			seqCfg.Sequential = true
+			seq, err := RunCluster(seqCfg, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := RunCluster(base, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatal("parallel facade replay differs from sequential replay")
+			}
+			again, err := RunCluster(base, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par, again) {
+				t.Fatal("two facade replays differ")
+			}
+			if par.Metrics.Jobs != len(jobs) {
+				t.Fatalf("replay completed %d of %d jobs", par.Metrics.Jobs, len(jobs))
+			}
+			if err := ValidateReservations(par.Schedule, base.Reservations, par.Blocked); err != nil {
+				t.Fatalf("realized trace violates a reservation: %v", err)
+			}
+			m := par.Metrics
+			if !(m.StretchP50 <= m.StretchP95+1e-9 && m.StretchP95 <= m.StretchP99+1e-9) {
+				t.Fatalf("stretch percentiles out of order: %g %g %g", m.StretchP50, m.StretchP95, m.StretchP99)
+			}
+		})
+	}
+}
+
+// TestFacadeGrid exercises the Grid* exports: heterogeneous shards, every
+// routing policy by name, determinism through the facade.
+func TestFacadeGrid(t *testing.T) {
+	jobs := facadeStream(t, 32, 50, 33)
+	for _, name := range []string{"round-robin", "least-backlog", "lower-bound", "moldability"} {
+		policy, err := ParseGridRoutingPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noise, err := UniformRuntimeNoise(0.15, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := GridConfig{
+			Clusters: []GridClusterSpec{
+				{M: 8, Perturb: noise},
+				{M: 16},
+				{M: 32, Reservations: []Reservation{{Name: "maint", Procs: 8, Start: 2, End: 10}}},
+			},
+			Routing:      policy,
+			AdmitBacklog: 30,
+		}
+		par, err := RunGrid(cfg, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqCfg := cfg
+		seqCfg.Routing, _ = ParseGridRoutingPolicy(name)
+		seqCfg.Sequential = true
+		seq, err := RunGrid(seqCfg, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("%s: concurrent facade grid replay differs from sequential", name)
+		}
+		if par.Metrics.Jobs != len(jobs) || par.Metrics.Clusters != 3 {
+			t.Fatalf("%s: unexpected grid metrics %+v", name, par.Metrics)
+		}
+	}
+	if _, err := ParseGridRoutingPolicy("nonsense"); err == nil {
+		t.Fatal("unknown routing policy accepted")
+	}
+	if _, err := NewGrid(GridConfig{}); err == nil {
+		t.Fatal("empty grid accepted")
 	}
 }

@@ -342,3 +342,50 @@ func TestObjectiveSelectsWinner(t *testing.T) {
 		}
 	}
 }
+
+func TestMetricsPercentilesAndBoundedSlowdown(t *testing.T) {
+	jobs := stream(t, 24, 90, 13, 4)
+	eng, err := New(Config{M: 24, Perturb: noise(t, 0.2, 13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := report.Metrics
+	if !(m.StretchP50 <= m.StretchP95+1e-9 && m.StretchP95 <= m.StretchP99+1e-9) {
+		t.Fatalf("stretch percentiles out of order: %g %g %g", m.StretchP50, m.StretchP95, m.StretchP99)
+	}
+	if m.StretchP50 <= 0 {
+		t.Fatalf("non-positive stretch median %g", m.StretchP50)
+	}
+	if !(m.BoundedSlowdownP50 <= m.BoundedSlowdownP95+1e-9 && m.BoundedSlowdownP95 <= m.BoundedSlowdownP99+1e-9) {
+		t.Fatalf("bounded-slowdown percentiles out of order: %g %g %g",
+			m.BoundedSlowdownP50, m.BoundedSlowdownP95, m.BoundedSlowdownP99)
+	}
+	if m.MeanBoundedSlowdown < 1 || m.BoundedSlowdownP50 < 1 {
+		t.Fatalf("bounded slowdown below its floor of 1: mean %g, P50 %g", m.MeanBoundedSlowdown, m.BoundedSlowdownP50)
+	}
+	// The percentile stream must be monotone over batches: the last
+	// snapshot is the final metrics.
+	last := report.Batches[len(report.Batches)-1].Cumulative
+	if last.StretchP99 != m.StretchP99 || last.BoundedSlowdownP99 != m.BoundedSlowdownP99 {
+		t.Fatalf("final batch snapshot differs from the run metrics")
+	}
+}
+
+func TestBoundedSlowdownFormula(t *testing.T) {
+	for _, tc := range []struct {
+		flow, pmin, want float64
+	}{
+		{10, 2, 5},    // ordinary job: flow over pmin
+		{10, 0.1, 10}, // tiny job: the threshold caps the denominator
+		{0.5, 2, 1},   // faster than its floor: slowdown is at least 1
+		{3, 0, 3},     // zero pmin falls back to the threshold
+	} {
+		if got := BoundedSlowdown(tc.flow, tc.pmin); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("BoundedSlowdown(%g, %g) = %g, want %g", tc.flow, tc.pmin, got, tc.want)
+		}
+	}
+}

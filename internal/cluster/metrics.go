@@ -1,5 +1,31 @@
 package cluster
 
+import (
+	"sort"
+
+	"bicriteria/internal/stats"
+)
+
+// BoundedSlowdownThreshold is the runtime floor tau of the bounded-slowdown
+// metric max(1, flow / max(pmin, tau)): jobs faster than tau do not inflate
+// the slowdown arbitrarily. One time unit matches the scale of the paper's
+// workloads (sequential times in [1, 10]).
+const BoundedSlowdownThreshold = 1.0
+
+// BoundedSlowdown computes the bounded slowdown of one realized job from
+// its flow time (completion minus submission) and its fastest possible
+// execution time pmin.
+func BoundedSlowdown(flow, pmin float64) float64 {
+	denom := pmin
+	if denom < BoundedSlowdownThreshold {
+		denom = BoundedSlowdownThreshold
+	}
+	if s := flow / denom; s > 1 {
+		return s
+	}
+	return 1
+}
+
 // Metrics aggregates the realized behaviour of a cluster run. The engine
 // keeps a running accumulator and attaches a snapshot to every batch
 // report, so a long replay can be monitored as it streams.
@@ -19,6 +45,18 @@ type Metrics struct {
 	// MeanStretch is the mean over jobs of the realized flow time divided
 	// by the job's fastest possible execution time.
 	MeanStretch float64
+	// StretchP50, StretchP95 and StretchP99 are nearest-rank percentiles of
+	// the per-job stretch distribution: the tail the mean hides.
+	StretchP50 float64
+	StretchP95 float64
+	StretchP99 float64
+	// MeanBoundedSlowdown is the mean over jobs of
+	// max(1, flow / max(pmin, BoundedSlowdownThreshold)).
+	MeanBoundedSlowdown float64
+	// BoundedSlowdownP50, P95 and P99 are the matching percentiles.
+	BoundedSlowdownP50 float64
+	BoundedSlowdownP95 float64
+	BoundedSlowdownP99 float64
 	// Utilization is the fraction of the processor-time rectangle
 	// [0, Makespan] x M spent executing jobs. Idle waits between batches
 	// count against it, as on a real machine.
@@ -32,17 +70,17 @@ type Metrics struct {
 
 // metricsAccumulator is the running state behind Metrics.
 type metricsAccumulator struct {
-	m          int
-	batches    int
-	jobs       int
-	makespan   float64
-	weightedC  float64
-	maxFlow    float64
-	stretchSum float64
-	stretched  int
-	busy       float64
-	delayed    int
-	wins       map[string]int
+	m         int
+	batches   int
+	jobs      int
+	makespan  float64
+	weightedC float64
+	maxFlow   float64
+	stretches []float64
+	bslds     []float64
+	busy      float64
+	delayed   int
+	wins      map[string]int
 }
 
 func newMetricsAccumulator(m int) *metricsAccumulator {
@@ -61,9 +99,9 @@ func (acc *metricsAccumulator) observeJob(release, completion, pmin, weight floa
 		acc.maxFlow = flow
 	}
 	if pmin > 0 {
-		acc.stretchSum += flow / pmin
-		acc.stretched++
+		acc.stretches = append(acc.stretches, flow/pmin)
 	}
+	acc.bslds = append(acc.bslds, BoundedSlowdown(flow, pmin))
 }
 
 // observeBatch folds one committed batch into the accumulator.
@@ -89,9 +127,17 @@ func (acc *metricsAccumulator) snapshot() Metrics {
 	for k, v := range acc.wins {
 		m.Wins[k] = v
 	}
-	if acc.stretched > 0 {
-		m.MeanStretch = acc.stretchSum / float64(acc.stretched)
-	}
+	// The samples are kept sorted in place across snapshots: snapshot runs
+	// once per batch, and re-sorting an almost-sorted slice is much
+	// cheaper than copying and sorting from scratch every time.
+	sort.Float64s(acc.stretches)
+	stretch := stats.TailOfSorted(acc.stretches)
+	m.MeanStretch = stretch.Mean
+	m.StretchP50, m.StretchP95, m.StretchP99 = stretch.P50, stretch.P95, stretch.P99
+	sort.Float64s(acc.bslds)
+	bsld := stats.TailOfSorted(acc.bslds)
+	m.MeanBoundedSlowdown = bsld.Mean
+	m.BoundedSlowdownP50, m.BoundedSlowdownP95, m.BoundedSlowdownP99 = bsld.P50, bsld.P95, bsld.P99
 	if acc.makespan > 0 && acc.m > 0 {
 		m.Utilization = acc.busy / (acc.makespan * float64(acc.m))
 	}

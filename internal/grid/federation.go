@@ -1,0 +1,275 @@
+// Package grid federates many independent cluster engines behind one
+// job-routing front door: a sharded multi-cluster grid with a concurrent
+// meta-scheduler.
+//
+// A Federation runs N internal/cluster engines — heterogeneous processor
+// counts, independent reservations, batching policies and perturbation
+// seeds — as concurrent shards. The meta-scheduler consumes a single
+// arrival stream in deterministic order (release date, then task ID) and
+// routes every job to one cluster under a pluggable routing policy:
+// round-robin, least-backlog, lower-bound-aware (the cluster whose DEMT
+// makespan lower bound grows least) or moldability-aware (jobs go to the
+// smallest cluster fitting their useful parallelism). Admission control
+// closes a cluster while its estimated backlog exceeds a limit, and the
+// concurrent path hands decisions to the shards through bounded dispatch
+// queues; the shards collect their sub-streams concurrently and replay
+// them through their engines in parallel.
+//
+// Replays are deterministic: routing decisions are a pure function of the
+// stream and the policy, every cluster engine is deterministic, and the
+// aggregation is order-fixed — so a concurrent run is bit-identical to a
+// sequential one under the same configuration, which the tests assert for
+// every policy.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"bicriteria/internal/cluster"
+	"bicriteria/internal/online"
+	"bicriteria/internal/reservation"
+)
+
+// ClusterSpec configures one shard of the federation. The zero values of
+// the optional fields mean what they mean for a standalone cluster engine
+// (default portfolio, makespan objective, batch-on-idle policy, exact
+// runtimes).
+type ClusterSpec struct {
+	// M is the shard's processor count.
+	M int
+	// Portfolio, Objective, Policy and Reservations configure the shard's
+	// engine exactly like cluster.Config.
+	Portfolio    []cluster.Algorithm
+	Objective    cluster.Objective
+	Policy       cluster.BatchPolicy
+	Reservations []reservation.Reservation
+	// Perturb is the shard's runtime perturbation (independent noise seeds
+	// per shard make the grid heterogeneous in time as well as in size).
+	Perturb func(taskID int, planned float64) float64
+}
+
+// DefaultQueueDepth is the per-shard dispatch queue capacity used when
+// Config.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// Config drives a grid federation.
+type Config struct {
+	// Clusters lists the shards. At least one is required.
+	Clusters []ClusterSpec
+	// Routing picks the cluster of every job; nil means LeastBacklog().
+	Routing RoutingPolicy
+	// QueueDepth sizes each shard's dispatch channel in the concurrent
+	// path. Shards drain their queue while routing proceeds and replay
+	// once it closes (an engine needs its complete sub-stream before it
+	// can batch), so the depth shapes the router-to-shard handoff
+	// granularity, not the total buffering. Zero means DefaultQueueDepth.
+	QueueDepth int
+	// AdmitBacklog closes a cluster to new admissions while its estimated
+	// per-processor backlog (in time units) exceeds the limit; jobs are
+	// steered to open clusters instead. Zero disables admission control.
+	// When every cluster is saturated, all of them are offered again: the
+	// grid never drops a job.
+	AdmitBacklog float64
+	// Sequential disables all goroutines: shards run one after the other
+	// and each engine runs its portfolio sequentially. The reports are
+	// identical either way; the switch exists for the determinism tests.
+	Sequential bool
+	// OnDecision, when non-nil, receives every routing decision in stream
+	// order as it is made.
+	OnDecision func(Decision)
+}
+
+// Report is the outcome of a grid run.
+type Report struct {
+	// Policy is the routing policy's name.
+	Policy string
+	// Decisions lists every routing decision in stream order.
+	Decisions []Decision
+	// Clusters holds the per-shard engine reports, indexed like
+	// Config.Clusters.
+	Clusters []*cluster.Report
+	// Metrics is the grid-wide aggregate.
+	Metrics Metrics
+}
+
+// Federation is a reusable grid with a fixed configuration.
+type Federation struct {
+	cfg     Config
+	engines []*cluster.Engine
+}
+
+// New validates the configuration and builds the federation, including
+// every shard engine.
+func New(cfg Config) (*Federation, error) {
+	if len(cfg.Clusters) == 0 {
+		return nil, fmt.Errorf("grid: federation needs at least one cluster")
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("grid: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.AdmitBacklog < 0 || math.IsNaN(cfg.AdmitBacklog) || math.IsInf(cfg.AdmitBacklog, 0) {
+		return nil, fmt.Errorf("grid: admission backlog limit must be non-negative and finite, got %g", cfg.AdmitBacklog)
+	}
+	if cfg.Routing == nil {
+		cfg.Routing = LeastBacklog()
+	}
+	f := &Federation{cfg: cfg, engines: make([]*cluster.Engine, len(cfg.Clusters))}
+	for i, spec := range cfg.Clusters {
+		eng, err := cluster.New(cluster.Config{
+			M:            spec.M,
+			Portfolio:    spec.Portfolio,
+			Objective:    spec.Objective,
+			Policy:       spec.Policy,
+			Reservations: spec.Reservations,
+			Perturb:      spec.Perturb,
+			Sequential:   cfg.Sequential,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("grid: cluster %d: %w", i, err)
+		}
+		f.engines[i] = eng
+	}
+	return f, nil
+}
+
+// resettable lets stateful built-in policies (round-robin) restart their
+// cycle at the beginning of every Run, so two Runs of one Federation are
+// identical.
+type resettable interface{ reset() }
+
+// Run routes the job stream across the shards and replays every shard
+// through its engine — concurrently unless Config.Sequential — then
+// aggregates the grid metrics. The report is bit-identical between the
+// sequential and the concurrent path.
+func (f *Federation) Run(jobs []online.Job) (*Report, error) {
+	seen := make(map[int]bool, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if err := j.Task.Validate(); err != nil {
+			return nil, err
+		}
+		if j.Release < 0 {
+			return nil, fmt.Errorf("grid: job %d has negative release date", j.Task.ID)
+		}
+		if seen[j.Task.ID] {
+			return nil, fmt.Errorf("grid: duplicate job ID %d in the stream", j.Task.ID)
+		}
+		seen[j.Task.ID] = true
+	}
+	sorted := make([]online.Job, len(jobs))
+	copy(sorted, jobs)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].Release != sorted[b].Release {
+			return sorted[a].Release < sorted[b].Release
+		}
+		return sorted[a].Task.ID < sorted[b].Task.ID
+	})
+
+	if p, ok := f.cfg.Routing.(resettable); ok {
+		p.reset()
+	}
+	rt := newRouter(f.cfg.Clusters, f.cfg.Routing, f.cfg.AdmitBacklog)
+
+	report := &Report{
+		Policy:   f.cfg.Routing.Name(),
+		Clusters: make([]*cluster.Report, len(f.engines)),
+	}
+	var err error
+	if f.cfg.Sequential {
+		report.Decisions, err = f.runSequential(rt, sorted, report.Clusters)
+	} else {
+		report.Decisions, err = f.runConcurrent(rt, sorted, report.Clusters)
+	}
+	if err != nil {
+		return nil, err
+	}
+	report.Metrics = aggregate(f.cfg.Clusters, sorted, report.Clusters)
+	return report, nil
+}
+
+// runSequential is the goroutine-free path: route everything, then replay
+// the shards one after the other.
+func (f *Federation) runSequential(rt *router, sorted []online.Job, out []*cluster.Report) ([]Decision, error) {
+	decisions := make([]Decision, 0, len(sorted))
+	shards := make([][]online.Job, len(f.engines))
+	for _, j := range sorted {
+		d, err := rt.route(j)
+		if err != nil {
+			return nil, err
+		}
+		decisions = append(decisions, d)
+		if f.cfg.OnDecision != nil {
+			f.cfg.OnDecision(d)
+		}
+		shards[d.Cluster] = append(shards[d.Cluster], j)
+	}
+	for i, eng := range f.engines {
+		rep, err := eng.Run(shards[i])
+		if err != nil {
+			return nil, fmt.Errorf("grid: cluster %d: %w", i, err)
+		}
+		out[i] = rep
+	}
+	return decisions, nil
+}
+
+// runConcurrent is the goroutine path: the router streams decisions into
+// one bounded queue per shard, every shard goroutine collects its jobs
+// concurrently, and the shard engines replay in parallel once their queues
+// close (an engine needs its complete sub-stream before it can batch).
+func (f *Federation) runConcurrent(rt *router, sorted []online.Job, out []*cluster.Report) ([]Decision, error) {
+	queues := make([]chan online.Job, len(f.engines))
+	errs := make([]error, len(f.engines))
+	var wg sync.WaitGroup
+	for i := range f.engines {
+		queues[i] = make(chan online.Job, f.cfg.QueueDepth)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var shard []online.Job
+			for j := range queues[i] {
+				shard = append(shard, j)
+			}
+			rep, err := f.engines[i].Run(shard)
+			if err != nil {
+				errs[i] = fmt.Errorf("grid: cluster %d: %w", i, err)
+				return
+			}
+			out[i] = rep
+		}(i)
+	}
+
+	decisions := make([]Decision, 0, len(sorted))
+	var routeErr error
+	for _, j := range sorted {
+		d, err := rt.route(j)
+		if err != nil {
+			routeErr = err
+			break
+		}
+		decisions = append(decisions, d)
+		if f.cfg.OnDecision != nil {
+			f.cfg.OnDecision(d)
+		}
+		queues[d.Cluster] <- j
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+	if routeErr != nil {
+		return nil, routeErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return decisions, nil
+}

@@ -1,0 +1,117 @@
+package grid
+
+import (
+	"bicriteria/internal/cluster"
+	"bicriteria/internal/online"
+	"bicriteria/internal/stats"
+)
+
+// ClusterSummary is the grid-level digest of one shard's run.
+type ClusterSummary struct {
+	// Index is the shard's position in Config.Clusters and M its size.
+	Index int
+	M     int
+	// Jobs and Batches count what the shard executed.
+	Jobs    int
+	Batches int
+	// Makespan is the shard's realized completion time of its last job.
+	Makespan float64
+	// Utilization is the shard's own busy fraction over [0, Makespan] x M.
+	Utilization float64
+	// MeanStretch is the shard's mean realized stretch.
+	MeanStretch float64
+	// Wins counts the shard's portfolio winners per algorithm.
+	Wins map[string]int
+}
+
+// Metrics is the grid-wide aggregate of a federation run.
+type Metrics struct {
+	// Clusters is the number of shards and Jobs the number of completed
+	// jobs across all of them.
+	Clusters int
+	Jobs     int
+	// Makespan is the completion time of the last job anywhere in the grid.
+	Makespan float64
+	// WeightedCompletion is sum(w_i * C_i) over every job of the grid.
+	WeightedCompletion float64
+	// MaxFlow is the largest realized flow time over the grid.
+	MaxFlow float64
+	// MeanStretch and the percentiles describe the grid-wide distribution
+	// of per-job stretch (flow over fastest possible execution time).
+	MeanStretch float64
+	StretchP50  float64
+	StretchP95  float64
+	StretchP99  float64
+	// MeanBoundedSlowdown and the percentiles describe the grid-wide
+	// bounded-slowdown distribution (see cluster.BoundedSlowdown).
+	MeanBoundedSlowdown float64
+	BoundedSlowdownP50  float64
+	BoundedSlowdownP95  float64
+	BoundedSlowdownP99  float64
+	// Utilization is the busy fraction of the whole grid rectangle
+	// [0, Makespan] x (sum of all processors): idle shards count against
+	// it, as they would on a real federation.
+	Utilization float64
+	// PerCluster digests every shard, indexed like Config.Clusters.
+	PerCluster []ClusterSummary
+}
+
+// aggregate folds the per-shard reports into the grid metrics. Samples are
+// collected in shard order, then assignment order, so the result is a
+// deterministic function of the reports.
+func aggregate(specs []ClusterSpec, jobs []online.Job, reports []*cluster.Report) Metrics {
+	type jobInfo struct {
+		release float64
+		pmin    float64
+	}
+	infos := make(map[int]jobInfo, len(jobs))
+	for i := range jobs {
+		pmin, _ := jobs[i].Task.MinTime()
+		infos[jobs[i].Task.ID] = jobInfo{release: jobs[i].Release, pmin: pmin}
+	}
+
+	m := Metrics{Clusters: len(reports), PerCluster: make([]ClusterSummary, len(reports))}
+	var stretches, bslds []float64
+	busy, procs := 0.0, 0
+	for i, rep := range reports {
+		cm := rep.Metrics
+		m.PerCluster[i] = ClusterSummary{
+			Index:       i,
+			M:           specs[i].M,
+			Jobs:        cm.Jobs,
+			Batches:     cm.Batches,
+			Makespan:    cm.Makespan,
+			Utilization: cm.Utilization,
+			MeanStretch: cm.MeanStretch,
+			Wins:        cm.Wins,
+		}
+		m.Jobs += cm.Jobs
+		m.WeightedCompletion += cm.WeightedCompletion
+		if cm.Makespan > m.Makespan {
+			m.Makespan = cm.Makespan
+		}
+		if cm.MaxFlow > m.MaxFlow {
+			m.MaxFlow = cm.MaxFlow
+		}
+		busy += cm.Utilization * cm.Makespan * float64(specs[i].M)
+		procs += specs[i].M
+		for _, a := range rep.Schedule.Assignments {
+			info := infos[a.TaskID]
+			flow := a.End() - info.release
+			if info.pmin > 0 {
+				stretches = append(stretches, flow/info.pmin)
+			}
+			bslds = append(bslds, cluster.BoundedSlowdown(flow, info.pmin))
+		}
+	}
+	stretch := stats.TailSummary(stretches)
+	m.MeanStretch = stretch.Mean
+	m.StretchP50, m.StretchP95, m.StretchP99 = stretch.P50, stretch.P95, stretch.P99
+	bsld := stats.TailSummary(bslds)
+	m.MeanBoundedSlowdown = bsld.Mean
+	m.BoundedSlowdownP50, m.BoundedSlowdownP95, m.BoundedSlowdownP99 = bsld.P50, bsld.P95, bsld.P99
+	if m.Makespan > 0 && procs > 0 {
+		m.Utilization = busy / (m.Makespan * float64(procs))
+	}
+	return m
+}

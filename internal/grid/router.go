@@ -1,0 +1,158 @@
+package grid
+
+import (
+	"fmt"
+
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/online"
+)
+
+// eps is the shared floating-point tolerance of the scheduling library.
+const eps = moldable.Eps
+
+// prefKnee defines the knee of a job's speedup curve for JobView.PrefProcs:
+// the smallest allocation whose time is within this factor of the fastest.
+const prefKnee = 1.5
+
+// Decision records one routing decision of the meta-scheduler.
+type Decision struct {
+	// JobID is the routed job's task ID and Release its submission time.
+	JobID   int
+	Release float64
+	// Cluster is the index of the chosen cluster in Config.Clusters.
+	Cluster int
+	// Backlog is the chosen cluster's estimated per-processor backlog just
+	// before admission (the router's virtual-clock estimate, not a realized
+	// quantity).
+	Backlog float64
+}
+
+// router is the sequential decision core of the meta-scheduler: it walks
+// the arrival stream in deterministic order and asks the routing policy for
+// a cluster per job, maintaining the per-cluster views (virtual backlog
+// clocks and lower-bound state) and enforcing admission control. Both the
+// sequential and the concurrent grid paths drive the same router, which is
+// why their decision streams are bit-identical.
+type router struct {
+	policy RoutingPolicy
+	// admitBacklog closes a cluster to new admissions while its estimated
+	// per-processor backlog exceeds it; 0 disables admission control.
+	admitBacklog float64
+	views        []ClusterView
+	// ready[c] is the virtual finish-time clock behind views[c].Backlog.
+	ready []float64
+	// candidates is reused across decisions to avoid per-job allocations.
+	candidates []ClusterView
+}
+
+func newRouter(specs []ClusterSpec, policy RoutingPolicy, admitBacklog float64) *router {
+	r := &router{
+		policy:       policy,
+		admitBacklog: admitBacklog,
+		views:        make([]ClusterView, len(specs)),
+		ready:        make([]float64, len(specs)),
+		candidates:   make([]ClusterView, 0, len(specs)),
+	}
+	for i, s := range specs {
+		r.views[i] = ClusterView{Index: i, M: s.M}
+	}
+	return r
+}
+
+// jobView computes the per-cluster quantities of one job. Time vectors may
+// be longer than a cluster's machine, in which case only the allocations
+// the cluster can offer count (NewInstance truncates the same way).
+func (r *router) jobView(j online.Job) JobView {
+	v := JobView{
+		ID:      j.Task.ID,
+		Release: j.Release,
+		Weight:  j.Task.Weight,
+		MinTime: make([]float64, len(r.views)),
+		MinWork: make([]float64, len(r.views)),
+	}
+	// The preferred width is the knee of the speedup curve, not the exact
+	// argmin: generated moldable tasks keep improving marginally up to the
+	// full machine, which would make every job "prefer" the widest cluster.
+	pmin, _ := j.Task.MinTime()
+	v.PrefProcs = 1
+	for k := 1; k <= len(j.Task.Times); k++ {
+		if j.Task.Times[k-1] <= prefKnee*pmin+eps {
+			v.PrefProcs = k
+			break
+		}
+	}
+	for c := range r.views {
+		kMax := len(j.Task.Times)
+		if r.views[c].M < kMax {
+			kMax = r.views[c].M
+		}
+		minT, minW := j.Task.Times[0], j.Task.Times[0]
+		for k := 2; k <= kMax; k++ {
+			t := j.Task.Times[k-1]
+			if t < minT {
+				minT = t
+			}
+			if w := float64(k) * t; w < minW {
+				minW = w
+			}
+		}
+		v.MinTime[c] = minT
+		v.MinWork[c] = minW
+	}
+	return v
+}
+
+// route decides the cluster of one job and updates the router state. Jobs
+// must be presented in non-decreasing release order.
+func (r *router) route(j online.Job) (Decision, error) {
+	// Drain the virtual backlog clocks down to the current time.
+	for c := range r.views {
+		backlog := r.ready[c] - j.Release
+		if backlog < 0 {
+			backlog = 0
+			r.ready[c] = j.Release
+		}
+		r.views[c].Backlog = backlog
+	}
+
+	// Admission control: offer only the clusters under the backlog limit,
+	// falling back to every cluster when all are saturated (jobs are never
+	// dropped, only steered).
+	r.candidates = r.candidates[:0]
+	if r.admitBacklog > 0 {
+		for c := range r.views {
+			if r.views[c].Backlog <= r.admitBacklog+eps {
+				r.candidates = append(r.candidates, r.views[c])
+			}
+		}
+	}
+	if len(r.candidates) == 0 {
+		r.candidates = append(r.candidates, r.views...)
+	}
+
+	job := r.jobView(j)
+	chosen := r.policy.Route(job, r.candidates)
+	if chosen < 0 || chosen >= len(r.views) {
+		return Decision{}, fmt.Errorf("grid: policy %s routed job %d to cluster %d of %d", r.policy.Name(), job.ID, chosen, len(r.views))
+	}
+	ok := false
+	for _, c := range r.candidates {
+		if c.Index == chosen {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return Decision{}, fmt.Errorf("grid: policy %s routed job %d to cluster %d, which is closed for admission", r.policy.Name(), job.ID, chosen)
+	}
+
+	d := Decision{JobID: job.ID, Release: j.Release, Cluster: chosen, Backlog: r.views[chosen].Backlog}
+	v := &r.views[chosen]
+	v.Jobs++
+	v.TotalMinWork += job.MinWork[chosen]
+	if job.MinTime[chosen] > v.MaxMinTime {
+		v.MaxMinTime = job.MinTime[chosen]
+	}
+	r.ready[chosen] += job.MinWork[chosen] / float64(v.M)
+	return d, nil
+}

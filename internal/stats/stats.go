@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Summary describes a sample of float64 values.
@@ -48,6 +49,76 @@ func Summarize(values []float64) Summary {
 		s.StdDev = math.Sqrt(varSum / float64(s.Count-1))
 	}
 	return s
+}
+
+// nearestRank returns the p-th percentile of a non-empty sorted sample
+// under the nearest-rank definition: the smallest value v such that at
+// least p% of the sample is <= v. p outside [0, 100] is clamped.
+func nearestRank(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of the sample
+// using the nearest-rank definition. The input is not modified. An empty
+// sample yields 0; p outside [0, 100] is clamped.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return nearestRank(sorted, p)
+}
+
+// Tail digests a sample by its mean and tail percentiles.
+type Tail struct {
+	Mean float64
+	P50  float64
+	P95  float64
+	P99  float64
+}
+
+// TailSummary computes the mean and the nearest-rank p50/p95/p99 of the
+// sample with a single copy and sort (cheaper than three Percentile
+// calls). An empty sample yields a zero Tail; the input is not modified.
+func TailSummary(values []float64) Tail {
+	if len(values) == 0 {
+		return Tail{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return TailOfSorted(sorted)
+}
+
+// TailOfSorted is TailSummary for a sample the caller keeps sorted: no
+// copy, no sort. Accumulators that snapshot repeatedly (once per batch)
+// should sort their sample in place and call this — re-sorting an
+// almost-sorted slice is far cheaper than copying and sorting from
+// scratch on every snapshot.
+func TailOfSorted(sorted []float64) Tail {
+	if len(sorted) == 0 {
+		return Tail{}
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Tail{
+		Mean: sum / float64(len(sorted)),
+		P50:  nearestRank(sorted, 50),
+		P95:  nearestRank(sorted, 95),
+		P99:  nearestRank(sorted, 99),
+	}
 }
 
 // RatioAggregator accumulates pairs (value, reference) and reports the

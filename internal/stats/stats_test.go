@@ -111,3 +111,59 @@ func TestPropertySummaryInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty sample percentile %g, want 0", got)
+	}
+	values := []float64{5, 1, 4, 2, 3} // unsorted on purpose
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{
+		{-10, 1}, {0, 1}, {20, 1}, {40, 2}, {50, 3}, {60, 3}, {80, 4}, {95, 5}, {100, 5}, {150, 5},
+	} {
+		if got := Percentile(values, tc.p); got != tc.want {
+			t.Fatalf("P%g of %v = %g, want %g", tc.p, values, got, tc.want)
+		}
+	}
+	// The input must not be reordered.
+	if values[0] != 5 || values[4] != 3 {
+		t.Fatalf("Percentile mutated its input: %v", values)
+	}
+	single := []float64{7}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := Percentile(single, p); got != 7 {
+			t.Fatalf("P%g of a singleton = %g, want 7", p, got)
+		}
+	}
+}
+
+func TestTailSummary(t *testing.T) {
+	if got := TailSummary(nil); got != (Tail{}) {
+		t.Fatalf("empty sample digest %+v, want zero", got)
+	}
+	values := []float64{5, 1, 4, 2, 3}
+	got := TailSummary(values)
+	want := Tail{Mean: 3, P50: 3, P95: 5, P99: 5}
+	if got != want {
+		t.Fatalf("TailSummary(%v) = %+v, want %+v", values, got, want)
+	}
+	// Must agree with Percentile and not reorder the input.
+	for _, p := range []float64{50, 95, 99} {
+		if Percentile(values, p) != map[float64]float64{50: got.P50, 95: got.P95, 99: got.P99}[p] {
+			t.Fatalf("TailSummary disagrees with Percentile at p=%g", p)
+		}
+	}
+	if values[0] != 5 {
+		t.Fatalf("TailSummary mutated its input: %v", values)
+	}
+	// TailOfSorted on a sorted copy gives the same digest.
+	sorted := []float64{1, 2, 3, 4, 5}
+	if s := TailOfSorted(sorted); s != want {
+		t.Fatalf("TailOfSorted = %+v, want %+v", s, want)
+	}
+	if s := TailOfSorted(nil); s != (Tail{}) {
+		t.Fatalf("TailOfSorted(nil) = %+v, want zero", s)
+	}
+}

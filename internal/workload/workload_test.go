@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"bicriteria/internal/moldable"
+	"bicriteria/internal/stats"
 )
 
 func TestKindStringAndParse(t *testing.T) {
@@ -291,5 +292,150 @@ func TestSaveAndLoadInstance(t *testing.T) {
 	}
 	if _, err := LoadInstance(dir + "/missing.json"); err == nil {
 		t.Fatalf("missing file must fail")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Distribution
+	}{
+		{"", DistDefault}, {"default", DistDefault},
+		{"exponential", DistExponential}, {"exp", DistExponential}, {"poisson", DistExponential},
+		{"lognormal", DistLognormal}, {"weibull", DistWeibull},
+	} {
+		got, err := ParseDistribution(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseDistribution(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseDistribution("zipf"); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestHeavyTailedArrivalsKeepMeanRateAndOrder(t *testing.T) {
+	const n, rate = 4000, 2.0
+	for _, dist := range []Distribution{DistExponential, DistLognormal, DistWeibull} {
+		arrivals, err := GenerateArrivals(ArrivalConfig{
+			Workload:     Config{Kind: WeaklyParallel, M: 4, N: n, Seed: 12},
+			Rate:         rate,
+			Interarrival: dist,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(arrivals); i++ {
+			if arrivals[i].Submit < arrivals[i-1].Submit {
+				t.Fatalf("%v: arrivals out of order at %d", dist, i)
+			}
+		}
+		// The long-run rate must stay Rate whatever the gap law; heavy
+		// tails need a loose tolerance.
+		span := arrivals[len(arrivals)-1].Submit
+		got := float64(n) / span
+		if got < rate/2 || got > rate*2 {
+			t.Fatalf("%v: realized rate %g too far from %g (span %g)", dist, got, rate, span)
+		}
+	}
+}
+
+func TestHeavyTailedArrivalsAreBurstierThanPoisson(t *testing.T) {
+	gaps := func(dist Distribution) []float64 {
+		arrivals, err := GenerateArrivals(ArrivalConfig{
+			Workload:     Config{Kind: WeaklyParallel, M: 4, N: 3000, Seed: 5},
+			Rate:         1,
+			Interarrival: dist,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, len(arrivals)-1)
+		for i := 1; i < len(arrivals); i++ {
+			out = append(out, arrivals[i].Submit-arrivals[i-1].Submit)
+		}
+		return out
+	}
+	cv2 := func(values []float64) float64 {
+		s := stats.Summarize(values)
+		return s.StdDev * s.StdDev / (s.Mean * s.Mean)
+	}
+	poisson := cv2(gaps(DistExponential))
+	for _, dist := range []Distribution{DistLognormal, DistWeibull} {
+		if heavy := cv2(gaps(dist)); heavy < poisson {
+			t.Fatalf("%v gaps have squared CV %g, not burstier than Poisson's %g", dist, heavy, poisson)
+		}
+	}
+}
+
+func TestRuntimeTailScalesTasksAndPreservesValidity(t *testing.T) {
+	base := ArrivalConfig{
+		Workload: Config{Kind: Mixed, M: 16, N: 300, Seed: 9},
+		Rate:     2,
+	}
+	plain, err := GenerateArrivals(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []Distribution{DistLognormal, DistWeibull} {
+		cfg := base
+		cfg.RuntimeTail = dist
+		tailed, err := GenerateArrivals(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tailed) != len(plain) {
+			t.Fatalf("%v: runtime scaling changed the job count", dist)
+		}
+		ratioSum, changed := 0.0, 0
+		for i := range tailed {
+			if err := tailed[i].Task.Validate(); err != nil {
+				t.Fatalf("%v: scaled task invalid: %v", dist, err)
+			}
+			if !tailed[i].Task.IsMonotonic() {
+				t.Fatalf("%v: scaling broke monotony of task %d", dist, i)
+			}
+			// Submission instants are untouched by runtime scaling.
+			if tailed[i].Submit != plain[i].Submit {
+				t.Fatalf("%v: runtime scaling moved submission %d", dist, i)
+			}
+			ratio := tailed[i].Task.SeqTime() / plain[i].Task.SeqTime()
+			ratioSum += ratio
+			if ratio != 1 {
+				changed++
+			}
+		}
+		if changed == 0 {
+			t.Fatalf("%v: runtime tail scaled nothing", dist)
+		}
+		// The multiplier has mean 1; with 300 samples of a heavy-tailed
+		// law the empirical mean stays within a loose band.
+		if mean := ratioSum / float64(len(tailed)); mean < 0.5 || mean > 2 {
+			t.Fatalf("%v: mean runtime multiplier %g too far from 1", dist, mean)
+		}
+	}
+}
+
+func TestArrivalConfigValidatesDistributions(t *testing.T) {
+	base := ArrivalConfig{Workload: Config{Kind: Mixed, M: 8, N: 4, Seed: 1}, Rate: 1}
+	bad := base
+	bad.Interarrival = Distribution(99)
+	if _, err := GenerateArrivals(bad); err == nil {
+		t.Fatal("unknown interarrival distribution accepted")
+	}
+	bad = base
+	bad.RuntimeTail = Distribution(-1)
+	if _, err := GenerateArrivals(bad); err == nil {
+		t.Fatal("unknown runtime distribution accepted")
+	}
+	bad = base
+	bad.InterarrivalShape = -0.5
+	if _, err := GenerateArrivals(bad); err == nil {
+		t.Fatal("negative shape accepted")
+	}
+	bad = base
+	bad.RuntimeTailShape = math.Inf(1)
+	if _, err := GenerateArrivals(bad); err == nil {
+		t.Fatal("infinite shape accepted")
 	}
 }
