@@ -14,6 +14,7 @@ import (
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
 	"bicriteria/internal/schedule"
+	"bicriteria/internal/serve"
 	"bicriteria/internal/sim"
 	"bicriteria/internal/trace"
 	"bicriteria/internal/workload"
@@ -371,6 +372,25 @@ func ParseArrivalDistribution(s string) (ArrivalDistribution, error) {
 // workload family, submitted at Poisson (or bursty, heavy-tailed) instants.
 func GenerateArrivals(cfg ArrivalConfig) ([]Arrival, error) { return workload.GenerateArrivals(cfg) }
 
+// WriteArrivals serializes an arrival stream as JSON (an SWF-style trace
+// that keeps the moldable time vectors). M records the machine size the
+// stream was generated for.
+func WriteArrivals(w io.Writer, m int, arrivals []Arrival) error {
+	return workload.WriteArrivals(w, m, arrivals)
+}
+
+// ReadArrivals parses and validates a stream written by WriteArrivals,
+// returning the arrivals and the recorded machine size.
+func ReadArrivals(r io.Reader) ([]Arrival, int, error) { return workload.ReadArrivals(r) }
+
+// SaveArrivals writes an arrival stream to a file path.
+func SaveArrivals(path string, m int, arrivals []Arrival) error {
+	return workload.SaveArrivals(path, m, arrivals)
+}
+
+// LoadArrivals reads an arrival stream from a file path.
+func LoadArrivals(path string) ([]Arrival, int, error) { return workload.LoadArrivals(path) }
+
 // ArrivalJobs adapts an arrival stream to the on-line and cluster inputs.
 func ArrivalJobs(arrivals []Arrival) []OnlineJob { return cluster.JobsFromArrivals(arrivals) }
 
@@ -455,6 +475,58 @@ func GridMoldabilityAware() GridRoutingPolicy { return grid.MoldabilityAware() }
 // ParseGridRoutingPolicy converts a string such as "least-backlog" into a
 // routing policy.
 func ParseGridRoutingPolicy(s string) (GridRoutingPolicy, error) { return grid.ParsePolicy(s) }
+
+// ---------------------------------------------------------------------------
+// Live scheduler service: the grid behind a concurrent submission API
+// ---------------------------------------------------------------------------
+
+// ServeConfig drives a live scheduler service: the grid behind it, the
+// wall-clock speedup, rate limiting, admission control, the sharded
+// submission queue, live-state refreshing and snapshots.
+type ServeConfig = serve.Config
+
+// ServeServer is a long-running scheduler service: jobs are submitted
+// while the portfolio scheduler runs, with live job states, metrics,
+// snapshots and graceful drain. See internal/serve for the architecture.
+type ServeServer = serve.Server
+
+// ServeCounters are the monotone admission statistics of a service.
+type ServeCounters = serve.Counters
+
+// ServeJobState is the lifecycle position of a submitted job
+// (queued → batched → scheduled → running → done).
+type ServeJobState = serve.JobState
+
+// Serve job lifecycle states.
+const (
+	ServeStateQueued    = serve.StateQueued
+	ServeStateBatched   = serve.StateBatched
+	ServeStateScheduled = serve.StateScheduled
+	ServeStateRunning   = serve.StateRunning
+	ServeStateDone      = serve.StateDone
+)
+
+// ServeJobStatus is the live view of one submitted job.
+type ServeJobStatus = serve.JobStatus
+
+// ServeJobSpec is the wire form of one job submission.
+type ServeJobSpec = serve.JobSpec
+
+// ServeAccepted acknowledges one admitted job with its virtual release.
+type ServeAccepted = serve.Accepted
+
+// ServeRejection is the typed refusal of a submission (rate limit,
+// backlog, full queue or draining) with a back-off hint.
+type ServeRejection = serve.Rejection
+
+// ServeFinalReport is the outcome of a drained service: the grid report
+// of the full deterministic replay of everything the service admitted.
+type ServeFinalReport = serve.FinalReport
+
+// NewServeServer validates the configuration, restores a snapshot when
+// one exists, and starts the service (queue collectors, refresher,
+// snapshot writer). Stop it with Drain.
+func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.NewServer(cfg) }
 
 // ---------------------------------------------------------------------------
 // Node reservations (section 5 of the paper, "on-going works")

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"bicriteria"
 )
@@ -10,7 +14,8 @@ import (
 func TestRunWritesWorkloadFile(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "w.json")
-	if err := run([]string{"-kind", "mixed", "-m", "16", "-n", "12", "-seed", "3", "-o", out}); err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "mixed", "-m", "16", "-n", "12", "-seed", "3", "-o", out}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	inst, err := bicriteria.LoadInstance(out)
@@ -23,13 +28,144 @@ func TestRunWritesWorkloadFile(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-kind", "nonsense"}); err == nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "nonsense"}, &buf); err == nil {
 		t.Fatalf("unknown kind must fail")
 	}
-	if err := run([]string{"-kind", "cirne", "-n", "0"}); err == nil {
+	if err := run([]string{"-kind", "cirne", "-n", "0"}, &buf); err == nil {
 		t.Fatalf("zero tasks must fail")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, &buf); err == nil {
 		t.Fatalf("unknown flag must fail")
+	}
+	if err := run([]string{"-arrivals", filepath.Join(t.TempDir(), "a.json"), "-arrival", "nonsense"}, &buf); err == nil {
+		t.Fatalf("unknown arrival law must fail")
+	}
+}
+
+func TestRunWritesArrivalStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.json")
+	var buf bytes.Buffer
+	args := []string{"-arrivals", path, "-kind", "mixed", "-m", "24", "-n", "30",
+		"-rate", "5", "-burst", "3", "-arrival", "lognormal", "-seed", "9"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote 30 arrivals") {
+		t.Fatalf("unexpected output: %s", buf.String())
+	}
+	arrivals, m, err := bicriteria.LoadArrivals(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 30 || m != 24 {
+		t.Fatalf("round-trip gave %d arrivals for %d processors, want 30 / 24", len(arrivals), m)
+	}
+	// The same flags must reproduce the identical stream (determinism).
+	var buf2 bytes.Buffer
+	path2 := filepath.Join(dir, "stream2.json")
+	args2 := append([]string(nil), args...)
+	args2[1] = path2
+	if err := run(args2, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := bicriteria.LoadArrivals(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range arrivals {
+		if arrivals[i].Submit != again[i].Submit || arrivals[i].Task.ID != again[i].Task.ID {
+			t.Fatalf("arrival %d differs between identical runs", i)
+		}
+	}
+}
+
+// TestRunLoadGeneratorAgainstLiveServer drives the load-generator mode
+// against a real in-process scheduler service, then drains it through the
+// generator's -drain flag.
+func TestRunLoadGeneratorAgainstLiveServer(t *testing.T) {
+	newServer := func() (*bicriteria.ServeServer, *httptest.Server) {
+		server, err := bicriteria.NewServeServer(bicriteria.ServeConfig{
+			Grid: bicriteria.GridConfig{
+				Clusters: []bicriteria.GridClusterSpec{{M: 16}, {M: 8}},
+				Routing:  bicriteria.GridLeastBacklog(),
+			},
+			Speedup:         100_000,
+			RefreshInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return server, httptest.NewServer(server.Handler())
+	}
+
+	// Replay a saved stream file against a live server.
+	serverA, tsA := newServer()
+	defer tsA.Close()
+	defer serverA.Drain()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-arrivals", path, "-m", "16", "-n", "20", "-rate", "8", "-seed", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-target", tsA.URL, "-in", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "replayed 20 jobs") {
+		t.Fatalf("unexpected replay output: %s", buf.String())
+	}
+
+	// Generate on the fly, bulk posts, then drain through the generator.
+	serverB, tsB := newServer()
+	defer tsB.Close()
+	buf.Reset()
+	args := []string{"-target", tsB.URL, "-kind", "mixed", "-m", "16", "-n", "24",
+		"-rate", "6", "-seed", "5", "-bulk", "6", "-drain"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "replayed 24 jobs") {
+		t.Fatalf("unexpected replay output: %s", got)
+	}
+	if !strings.Contains(got, "drained 24 jobs") {
+		t.Fatalf("drain summary missing or wrong: %s", got)
+	}
+	if !serverB.Drained() {
+		t.Fatal("server not drained after -drain replay")
+	}
+}
+
+// TestRunLoadGeneratorPacesSubmissions checks that -speedup spreads the
+// submissions over wall time: a 10-unit stream at speedup 100 must take
+// at least ~100ms.
+func TestRunLoadGeneratorPacesSubmissions(t *testing.T) {
+	server, err := bicriteria.NewServeServer(bicriteria.ServeConfig{
+		Grid: bicriteria.GridConfig{
+			Clusters: []bicriteria.GridClusterSpec{{M: 8}},
+		},
+		Speedup:         100,
+		RefreshInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Drain()
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	start := time.Now()
+	// rate 2, n 20 => horizon around 10 virtual units; speedup 100 means
+	// about 100ms of wall-clock pacing.
+	args := []string{"-target", ts.URL, "-m", "8", "-n", "20", "-rate", "2", "-seed", "6", "-speedup", "100"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("paced replay finished in %s, too fast to have paced at all", elapsed)
 	}
 }

@@ -236,6 +236,7 @@ func printReport(out io.Writer, sizes []int, report *bicriteria.GridReport, jobs
 	fmt.Fprintf(out, "  bounded slowdown      %.2f (p50 %.2f, p95 %.2f, p99 %.2f)\n",
 		met.MeanBoundedSlowdown, met.BoundedSlowdownP50, met.BoundedSlowdownP95, met.BoundedSlowdownP99)
 	fmt.Fprintf(out, "  grid utilization      %.1f%%\n", 100*met.Utilization)
+	fmt.Fprintf(out, "  admission rejections  %d\n", met.Rejections)
 	fmt.Fprintln(out, "per-cluster:")
 	for _, pc := range met.PerCluster {
 		winners := make([]string, 0, len(pc.Wins))
@@ -247,8 +248,8 @@ func printReport(out io.Writer, sizes []int, report *bicriteria.GridReport, jobs
 		for _, name := range winners {
 			wins = append(wins, fmt.Sprintf("%s:%d", name, pc.Wins[name]))
 		}
-		fmt.Fprintf(out, "  cluster %d  m=%-4d jobs=%-4d batches=%-3d makespan=%8.2f  util=%5.1f%%  stretch=%.2f  wins %s\n",
-			pc.Index, pc.M, pc.Jobs, pc.Batches, pc.Makespan, 100*pc.Utilization, pc.MeanStretch, strings.Join(wins, " "))
+		fmt.Fprintf(out, "  cluster %d  m=%-4d jobs=%-4d batches=%-3d makespan=%8.2f  util=%5.1f%%  stretch=%.2f  peak-backlog=%.2f  rejected=%d  wins %s\n",
+			pc.Index, pc.M, pc.Jobs, pc.Batches, pc.Makespan, 100*pc.Utilization, pc.MeanStretch, pc.PeakBacklog, pc.Rejected, strings.Join(wins, " "))
 	}
 }
 
@@ -284,7 +285,7 @@ func writeCSV(path string, report *bicriteria.GridReport) error {
 		return err
 	}
 	w := csv.NewWriter(f)
-	if err := w.Write([]string{"cluster", "m", "jobs", "batches", "makespan", "utilization", "mean_stretch"}); err != nil {
+	if err := w.Write([]string{"cluster", "m", "jobs", "batches", "makespan", "utilization", "mean_stretch", "peak_backlog", "rejected"}); err != nil {
 		f.Close()
 		return err
 	}
@@ -297,6 +298,8 @@ func writeCSV(path string, report *bicriteria.GridReport) error {
 			strconv.FormatFloat(pc.Makespan, 'f', 6, 64),
 			strconv.FormatFloat(pc.Utilization, 'f', 6, 64),
 			strconv.FormatFloat(pc.MeanStretch, 'f', 6, 64),
+			strconv.FormatFloat(pc.PeakBacklog, 'f', 6, 64),
+			strconv.Itoa(pc.Rejected),
 		}
 		if err := w.Write(rec); err != nil {
 			f.Close()

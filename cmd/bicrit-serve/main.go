@@ -1,0 +1,232 @@
+// Command bicrit-serve runs the scheduler as a long-running service: a
+// grid federation (or a single cluster — a grid with one shard) behind a
+// concurrent HTTP submission API. Clients POST moldable jobs while the
+// portfolio scheduler runs; the service stamps every submission with a
+// virtual release date (wall clock times the -speedup factor), applies
+// token-bucket rate limiting and virtual-backlog admission control (429 +
+// Retry-After when saturated), tracks jobs through
+// queued→batched→scheduled→running→done, checkpoints itself to a JSON
+// snapshot, and on drain emits the final grid report — identical to an
+// offline replay of the same submission stream.
+//
+// API: POST /jobs (single or bulk), GET /jobs/{id}, GET /metrics,
+// GET /healthz, POST /drain.
+//
+// Usage:
+//
+//	bicrit-serve -addr :8080 -clusters 64,32,16 -routing least-backlog
+//	bicrit-serve -clusters 32,32 -speedup 60 -submit-rate 100 -admit-backlog 200 \
+//	    -snapshot /var/tmp/bicrit.snapshot.json
+//
+// SIGINT/SIGTERM drain the service gracefully and print the final report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"bicriteria"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bicrit-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until a shutdown signal (or a value
+// on stop, used by the tests) drains it. The bound address is sent on
+// bound when non-nil, so callers can use -addr with port 0.
+func run(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("bicrit-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address of the HTTP API")
+	clustersFlag := fs.String("clusters", "64,32,16", "comma-separated processor counts, one per cluster shard")
+	routingFlag := fs.String("routing", "least-backlog", "routing policy: round-robin, least-backlog, lower-bound or moldability")
+	seed := fs.Int64("seed", 1, "seed of the DEMT shuffles and the per-cluster noise")
+	policyFlag := fs.String("batch", "idle", "per-shard batching policy: idle, interval or adaptive")
+	interval := fs.Float64("interval", 25, "period of the interval batching policy, in virtual time units")
+	workFactor := fs.Float64("work-factor", 4, "adaptive batching: fire once backlog work >= work-factor * m")
+	maxDelay := fs.Float64("max-delay", 50, "adaptive batching: maximum wait of the oldest pending job")
+	objectiveFlag := fs.String("objective", "makespan", "per-batch commit objective: makespan, minsum or combined")
+	alpha := fs.Float64("alpha", 0.5, "makespan weight of the combined objective")
+	noise := fs.Float64("noise", 0, "runtime perturbation fraction, seeded independently per cluster")
+	gridAdmit := fs.Float64("route-admit", 0, "router-level steering: close a shard above this per-processor backlog (0 = unlimited)")
+	speedup := fs.Float64("speedup", 1, "virtual time units per wall-clock second")
+	submitRate := fs.Float64("submit-rate", 0, "token-bucket rate limit in jobs per second (0 = unlimited)")
+	submitBurst := fs.Int("submit-burst", 0, "token-bucket capacity (0 = rate-derived)")
+	admitBacklog := fs.Float64("admit-backlog", 0, "front-door admission control: reject (429) above this virtual per-processor backlog (0 = unlimited)")
+	queueShards := fs.Int("queue-shards", 0, "submission queue shards (0 = default)")
+	queueDepth := fs.Int("queue-depth", 0, "per-shard submission queue capacity (0 = default)")
+	refresh := fs.Duration("refresh", 0, "live-state refresh period (0 = default 1s)")
+	snapshot := fs.String("snapshot", "", "snapshot file: periodic checkpoints, restored on start when present")
+	snapshotEvery := fs.Duration("snapshot-interval", 0, "snapshot period (0 = default 10s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := buildConfig(*clustersFlag, *routingFlag, *policyFlag, *objectiveFlag,
+		*seed, *interval, *workFactor, *maxDelay, *alpha, *noise, *gridAdmit)
+	if err != nil {
+		return err
+	}
+	cfg.Speedup = *speedup
+	cfg.SubmitRate = *submitRate
+	cfg.SubmitBurst = *submitBurst
+	cfg.AdmitBacklog = *admitBacklog
+	cfg.QueueShards = *queueShards
+	cfg.QueueDepth = *queueDepth
+	cfg.RefreshInterval = *refresh
+	cfg.SnapshotPath = *snapshot
+	cfg.SnapshotInterval = *snapshotEvery
+
+	server, err := bicriteria.NewServeServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if bound != nil {
+		bound <- ln.Addr().String()
+	}
+	httpSrv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(out, "bicrit-serve listening on %s (%d clusters, speedup %g)\n",
+		ln.Addr(), len(cfg.Grid.Clusters), cfg.Speedup)
+	if restored := server.CountersSnapshot().Restored; restored > 0 {
+		fmt.Fprintf(out, "restored %d jobs from snapshot %s\n", restored, *snapshot)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	case <-stop:
+	}
+
+	fmt.Fprintln(out, "draining...")
+	rep, err := server.Drain()
+	if err != nil {
+		httpSrv.Close()
+		return err
+	}
+	printFinal(out, rep)
+	return httpSrv.Close()
+}
+
+// buildConfig assembles the grid part of the service configuration from
+// the CLI flags.
+func buildConfig(clusters, routing, batch, objective string,
+	seed int64, interval, workFactor, maxDelay, alpha, noise, gridAdmit float64) (bicriteria.ServeConfig, error) {
+	var cfg bicriteria.ServeConfig
+	sizes, err := parseSizes(clusters)
+	if err != nil {
+		return cfg, err
+	}
+	routingPolicy, err := bicriteria.ParseGridRoutingPolicy(routing)
+	if err != nil {
+		return cfg, err
+	}
+	obj, err := buildObjective(objective, alpha)
+	if err != nil {
+		return cfg, err
+	}
+	specs := make([]bicriteria.GridClusterSpec, len(sizes))
+	for i, m := range sizes {
+		policy, err := buildPolicy(batch, interval, workFactor*float64(m), maxDelay)
+		if err != nil {
+			return cfg, err
+		}
+		perturb, err := bicriteria.UniformRuntimeNoise(noise, seed^int64(i+1)*0x9E3779B9)
+		if err != nil {
+			return cfg, err
+		}
+		specs[i] = bicriteria.GridClusterSpec{
+			M:         m,
+			Portfolio: bicriteria.ClusterPortfolio(&bicriteria.DEMTOptions{Seed: seed}),
+			Objective: obj,
+			Policy:    policy,
+			Perturb:   perturb,
+		}
+	}
+	cfg.Grid = bicriteria.GridConfig{
+		Clusters:     specs,
+		Routing:      routingPolicy,
+		AdmitBacklog: gridAdmit,
+	}
+	return cfg, nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		m, err := strconv.Atoi(p)
+		if err != nil || m < 1 {
+			return nil, fmt.Errorf("bad cluster size %q (want a positive processor count)", p)
+		}
+		sizes = append(sizes, m)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-clusters lists no cluster sizes")
+	}
+	return sizes, nil
+}
+
+func buildPolicy(name string, interval, workTarget, maxDelay float64) (bicriteria.ClusterBatchPolicy, error) {
+	switch name {
+	case "idle":
+		return bicriteria.BatchOnIdle(), nil
+	case "interval":
+		return bicriteria.FixedIntervalPolicy(interval)
+	case "adaptive":
+		return bicriteria.AdaptiveBacklogPolicy(workTarget, maxDelay)
+	}
+	return nil, fmt.Errorf("unknown batching policy %q (want idle, interval or adaptive)", name)
+}
+
+func buildObjective(name string, alpha float64) (bicriteria.ClusterObjective, error) {
+	switch name {
+	case "makespan":
+		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveMakespan}, nil
+	case "minsum":
+		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveWeightedCompletion}, nil
+	case "combined":
+		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveCombined, Alpha: alpha}, nil
+	}
+	return bicriteria.ClusterObjective{}, fmt.Errorf("unknown objective %q (want makespan, minsum or combined)", name)
+}
+
+func printFinal(out io.Writer, rep *bicriteria.ServeFinalReport) {
+	met := rep.Metrics
+	fmt.Fprintf(out, "final report: %d jobs drained at virtual time %.2f (policy %s)\n",
+		rep.Jobs, rep.VirtualNow, rep.Policy)
+	fmt.Fprintf(out, "  grid makespan         %.2f\n", met.Makespan)
+	fmt.Fprintf(out, "  weighted completion   %.2f\n", met.WeightedCompletion)
+	fmt.Fprintf(out, "  mean stretch          %.2f (p95 %.2f, p99 %.2f)\n",
+		met.MeanStretch, met.StretchP95, met.StretchP99)
+	fmt.Fprintf(out, "  grid utilization      %.1f%%\n", 100*met.Utilization)
+	for _, pc := range met.PerCluster {
+		fmt.Fprintf(out, "  cluster %d  m=%-4d jobs=%-4d batches=%-3d makespan=%8.2f  util=%5.1f%%\n",
+			pc.Index, pc.M, pc.Jobs, pc.Batches, pc.Makespan, 100*pc.Utilization)
+	}
+}

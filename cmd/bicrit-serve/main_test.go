@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bicriteria"
+)
+
+func TestBuildConfigValidatesFlags(t *testing.T) {
+	if _, err := buildConfig("16,x", "least-backlog", "idle", "makespan", 1, 25, 4, 50, 0.5, 0, 0); err == nil {
+		t.Error("bad cluster size accepted")
+	}
+	if _, err := buildConfig("16,8", "nonsense", "idle", "makespan", 1, 25, 4, 50, 0.5, 0, 0); err == nil {
+		t.Error("bad routing policy accepted")
+	}
+	if _, err := buildConfig("16,8", "least-backlog", "nonsense", "makespan", 1, 25, 4, 50, 0.5, 0, 0); err == nil {
+		t.Error("bad batch policy accepted")
+	}
+	if _, err := buildConfig("16,8", "least-backlog", "idle", "nonsense", 1, 25, 4, 50, 0.5, 0, 0); err == nil {
+		t.Error("bad objective accepted")
+	}
+	cfg, err := buildConfig("16,8", "round-robin", "adaptive", "combined", 3, 25, 4, 50, 0.5, 0.1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Grid.Clusters) != 2 || cfg.Grid.Clusters[0].M != 16 || cfg.Grid.Clusters[1].M != 8 {
+		t.Fatalf("bad cluster specs: %+v", cfg.Grid.Clusters)
+	}
+	if cfg.Grid.AdmitBacklog != 30 {
+		t.Fatalf("router admit backlog %g, want 30", cfg.Grid.AdmitBacklog)
+	}
+}
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, submits
+// jobs over HTTP, stops it and checks the drained report on stdout.
+func TestRunServesAndDrains(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex // the run goroutine writes buf after stop is closed
+	out := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	bound := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-clusters", "8,4", "-speedup", "1000"},
+			out, bound, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-bound:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never bound")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+	for i := 0; i < 6; i++ {
+		spec := bicriteria.ServeJobSpec{ID: i, Times: []float64{10, 6}}
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d returned %d", i, resp.StatusCode)
+		}
+	}
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never finished")
+	}
+	mu.Lock()
+	got := buf.String()
+	mu.Unlock()
+	for _, want := range []string{"listening on", "draining...", "final report: 6 jobs", "grid makespan", "cluster 0", "cluster 1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in output:\n%s", want, got)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestParseSizes(t *testing.T) {
+	sizes, err := parseSizes("64, 32,16")
+	if err != nil || fmt.Sprint(sizes) != "[64 32 16]" {
+		t.Fatalf("parseSizes = %v, %v", sizes, err)
+	}
+	if _, err := parseSizes(","); err == nil {
+		t.Fatal("empty size list accepted")
+	}
+}

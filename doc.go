@@ -21,6 +21,17 @@
 // concurrent run is bit-identical to a sequential one. See examples/grid
 // for a complete program.
 //
+// The serve layer (internal/serve, exported as the Serve* identifiers)
+// runs that grid as a live service: a long-running daemon with a
+// concurrent HTTP submission API (POST /jobs, GET /jobs/{id},
+// GET /metrics, GET /healthz, POST /drain), token-bucket rate limiting
+// and virtual-backlog admission control (429 + Retry-After), a wall-clock
+// pacer mapping real time onto simulated event time, a job registry
+// tracking queued through done states, periodic snapshots with
+// restore-on-restart, and a graceful drain whose final report is
+// identical to an offline replay of the same submission stream. See
+// cmd/bicrit-serve and examples/serve.
+//
 // The root package is a thin facade over the internal packages: it exposes
 // the task and schedule model, the DEMT scheduler, the baselines, the lower
 // bounds, the workload generators and the simulator under one import path.

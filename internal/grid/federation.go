@@ -189,7 +189,7 @@ func (f *Federation) Run(jobs []online.Job) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	report.Metrics = aggregate(f.cfg.Clusters, sorted, report.Clusters)
+	report.Metrics = aggregate(f.cfg.Clusters, sorted, report.Clusters, rt)
 	return report, nil
 }
 

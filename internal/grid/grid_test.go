@@ -338,6 +338,23 @@ func TestGridAdmissionControlStillRoutesEveryJob(t *testing.T) {
 	if rep.Metrics.Jobs != len(jobs) {
 		t.Fatalf("admission control lost jobs: %d of %d completed", rep.Metrics.Jobs, len(jobs))
 	}
+	// Cluster 0 was closed for every job after its first two admissions, so
+	// its rejection count must be visible in the metrics; without admission
+	// control rejections stay zero.
+	if rep.Metrics.PerCluster[0].Rejected == 0 || rep.Metrics.Rejections == 0 {
+		t.Fatalf("admission closures not surfaced: %+v", rep.Metrics.PerCluster)
+	}
+	if rep.Metrics.PerCluster[0].PeakBacklog <= 2 {
+		t.Fatalf("cluster 0 peak backlog %g never exceeded the admission limit 2",
+			rep.Metrics.PerCluster[0].PeakBacklog)
+	}
+	unlimitedRep, err := unlimited.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimitedRep.Metrics.Rejections != 0 {
+		t.Fatalf("rejections %d without admission control", unlimitedRep.Metrics.Rejections)
+	}
 }
 
 func TestGridMetricsAggregation(t *testing.T) {

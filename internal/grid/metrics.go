@@ -20,6 +20,15 @@ type ClusterSummary struct {
 	Utilization float64
 	// MeanStretch is the shard's mean realized stretch.
 	MeanStretch float64
+	// PeakBacklog is the deepest virtual queue the shard ever showed the
+	// router: the largest estimated per-processor backlog (in time units)
+	// observed at any routing decision. It is a router-side estimate, so it
+	// is identical between sequential and concurrent replays.
+	PeakBacklog float64
+	// Rejected counts the jobs that arrived while this shard was closed
+	// for admission (backlog over Config.AdmitBacklog) and were steered to
+	// another shard. Zero when admission control is disabled.
+	Rejected int
 	// Wins counts the shard's portfolio winners per algorithm.
 	Wins map[string]int
 }
@@ -52,6 +61,9 @@ type Metrics struct {
 	// [0, Makespan] x (sum of all processors): idle shards count against
 	// it, as they would on a real federation.
 	Utilization float64
+	// Rejections is the total number of admission-control closures over
+	// the run: the sum of the per-shard Rejected counts.
+	Rejections int
 	// PerCluster digests every shard, indexed like Config.Clusters.
 	PerCluster []ClusterSummary
 }
@@ -59,7 +71,7 @@ type Metrics struct {
 // aggregate folds the per-shard reports into the grid metrics. Samples are
 // collected in shard order, then assignment order, so the result is a
 // deterministic function of the reports.
-func aggregate(specs []ClusterSpec, jobs []online.Job, reports []*cluster.Report) Metrics {
+func aggregate(specs []ClusterSpec, jobs []online.Job, reports []*cluster.Report, rt *router) Metrics {
 	type jobInfo struct {
 		release float64
 		pmin    float64
@@ -83,8 +95,11 @@ func aggregate(specs []ClusterSpec, jobs []online.Job, reports []*cluster.Report
 			Makespan:    cm.Makespan,
 			Utilization: cm.Utilization,
 			MeanStretch: cm.MeanStretch,
+			PeakBacklog: rt.peak[i],
+			Rejected:    rt.rejected[i],
 			Wins:        cm.Wins,
 		}
+		m.Rejections += rt.rejected[i]
 		m.Jobs += cm.Jobs
 		m.WeightedCompletion += cm.WeightedCompletion
 		if cm.Makespan > m.Makespan {

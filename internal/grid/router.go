@@ -41,6 +41,12 @@ type router struct {
 	views        []ClusterView
 	// ready[c] is the virtual finish-time clock behind views[c].Backlog.
 	ready []float64
+	// peak[c] is the largest virtual backlog cluster c ever showed at a
+	// decision point: the realized depth of the shard's virtual queue.
+	peak []float64
+	// rejected[c] counts the jobs that arrived while cluster c was closed
+	// for admission (its backlog over the limit) and were steered away.
+	rejected []int
 	// candidates is reused across decisions to avoid per-job allocations.
 	candidates []ClusterView
 }
@@ -51,6 +57,8 @@ func newRouter(specs []ClusterSpec, policy RoutingPolicy, admitBacklog float64) 
 		admitBacklog: admitBacklog,
 		views:        make([]ClusterView, len(specs)),
 		ready:        make([]float64, len(specs)),
+		peak:         make([]float64, len(specs)),
+		rejected:     make([]int, len(specs)),
 		candidates:   make([]ClusterView, 0, len(specs)),
 	}
 	for i, s := range specs {
@@ -113,6 +121,9 @@ func (r *router) route(j online.Job) (Decision, error) {
 			r.ready[c] = j.Release
 		}
 		r.views[c].Backlog = backlog
+		if backlog > r.peak[c] {
+			r.peak[c] = backlog
+		}
 	}
 
 	// Admission control: offer only the clusters under the backlog limit,
@@ -144,6 +155,17 @@ func (r *router) route(j online.Job) (Decision, error) {
 	}
 	if !ok {
 		return Decision{}, fmt.Errorf("grid: policy %s routed job %d to cluster %d, which is closed for admission", r.policy.Name(), job.ID, chosen)
+	}
+
+	// Tally admission closures now that the destination is known: a shard
+	// over the limit turned this job away only if the job landed elsewhere
+	// (in the all-saturated fallback the chosen shard still ran it).
+	if r.admitBacklog > 0 {
+		for c := range r.views {
+			if c != chosen && r.views[c].Backlog > r.admitBacklog+eps {
+				r.rejected[c]++
+			}
+		}
 	}
 
 	d := Decision{JobID: job.ID, Release: j.Release, Cluster: chosen, Backlog: r.views[chosen].Backlog}

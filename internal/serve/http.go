@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bicriteria/internal/grid"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/stats"
+)
+
+// JobSpec is the wire form of one job submission. A zero weight means 1.
+type JobSpec struct {
+	ID     int       `json:"id"`
+	Name   string    `json:"name,omitempty"`
+	Weight float64   `json:"weight,omitempty"`
+	Times  []float64 `json:"times"`
+}
+
+// task converts the spec into the scheduling model.
+func (js JobSpec) task() moldable.Task {
+	w := js.Weight
+	if w == 0 {
+		w = 1
+	}
+	return moldable.Task{ID: js.ID, Name: js.Name, Weight: w, Times: js.Times}
+}
+
+// SubmitResponse is the body of POST /jobs: the jobs admitted (with their
+// virtual release stamps) and, when the request stopped early, why.
+type SubmitResponse struct {
+	Accepted []Accepted `json:"accepted"`
+	// Error explains the first refusal, which halts a bulk submission;
+	// jobs listed in Accepted were admitted before it.
+	Error string `json:"error,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429 responses.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+}
+
+// MetricsResponse is the body of GET /metrics.
+type MetricsResponse struct {
+	// VirtualNow is the pacer's current simulated time, Speedup its
+	// virtual-seconds-per-wall-second factor and UptimeSeconds the
+	// wall-clock age of the process.
+	VirtualNow    float64  `json:"virtual_now"`
+	Speedup       float64  `json:"speedup"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	State         string   `json:"state"`
+	Counters      Counters `json:"counters"`
+	// JobStates counts the admitted jobs per lifecycle state, as of the
+	// last refresh.
+	JobStates map[string]int `json:"job_states"`
+	// QueueDepths is the instantaneous occupancy of every submission
+	// queue shard.
+	QueueDepths []int `json:"queue_depths"`
+	// Grid is the grid-wide aggregate of the latest stream replay (the
+	// refresher's, or the final one after drain); GridVirtualTime is the
+	// virtual time that replay was evaluated at.
+	Grid            *grid.Metrics `json:"grid,omitempty"`
+	GridVirtualTime float64       `json:"grid_virtual_time,omitempty"`
+	// StretchHistogram and WaitHistogram are log-spaced distributions over
+	// the completed jobs: per-job stretch, and virtual wait time
+	// (start minus release, floored at the histogram's lower bound).
+	StretchHistogram stats.HistogramSnapshot `json:"stretch_histogram"`
+	WaitHistogram    stats.HistogramSnapshot `json:"wait_histogram"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok", "draining" or "drained".
+	Status     string  `json:"status"`
+	VirtualNow float64 `json:"virtual_now"`
+	Jobs       int     `json:"jobs"`
+	// RefreshError and SnapshotError surface background-loop failures.
+	RefreshError  string `json:"refresh_error,omitempty"`
+	SnapshotError string `json:"snapshot_error,omitempty"`
+}
+
+// Fixed shapes of the /metrics histograms: stable scrape schemas matter
+// more than per-deployment tuning. Stretch is dimensionless and starts at
+// its floor 1; waits are in virtual time units.
+const (
+	stretchHistLo, stretchHistHi, stretchHistBuckets = 1, 1e4, 40
+	waitHistLo, waitHistHi, waitHistBuckets          = 1e-2, 1e6, 40
+)
+
+// Handler returns the HTTP API of the service:
+//
+//	POST /jobs     submit one job or a bulk batch
+//	GET  /jobs/{id} live status of a job
+//	GET  /metrics  counters, state counts, distributions, grid aggregate
+//	GET  /healthz  liveness and drain state
+//	POST /drain    graceful drain; responds with the final report
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /drain", s.handleDrain)
+	return mux
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+// decodeSpecs accepts the three submission shapes: a single job object, a
+// bare array of jobs, or an object with a "jobs" array.
+func decodeSpecs(body []byte) ([]JobSpec, error) {
+	i := 0
+	for i < len(body) && (body[i] == ' ' || body[i] == '\t' || body[i] == '\n' || body[i] == '\r') {
+		i++
+	}
+	if i == len(body) {
+		return nil, fmt.Errorf("empty request body")
+	}
+	if body[i] == '[' {
+		var specs []JobSpec
+		if err := json.Unmarshal(body, &specs); err != nil {
+			return nil, err
+		}
+		return specs, nil
+	}
+	var wrapper struct {
+		Jobs []JobSpec `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &wrapper); err == nil && len(wrapper.Jobs) > 0 {
+		return wrapper.Jobs, nil
+	}
+	var one JobSpec
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, err
+	}
+	return []JobSpec{one}, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, SubmitResponse{Error: err.Error()})
+		return
+	}
+	specs, err := decodeSpecs(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, SubmitResponse{Error: err.Error()})
+		return
+	}
+	if len(specs) == 0 {
+		writeJSON(w, http.StatusBadRequest, SubmitResponse{Error: "no jobs in request"})
+		return
+	}
+	// Validate everything up front so a bulk request is never admitted
+	// half-way because of a malformed tail.
+	seen := make(map[int]bool, len(specs))
+	for i, spec := range specs {
+		task := spec.task()
+		if err := task.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, SubmitResponse{Error: fmt.Sprintf("job %d of request: %v", i, err)})
+			return
+		}
+		if seen[spec.ID] {
+			writeJSON(w, http.StatusBadRequest, SubmitResponse{Error: fmt.Sprintf("duplicate job ID %d in request", spec.ID)})
+			return
+		}
+		seen[spec.ID] = true
+	}
+
+	resp := SubmitResponse{Accepted: make([]Accepted, 0, len(specs))}
+	for _, spec := range specs {
+		acc, err := s.Submit(spec.task())
+		if err == nil {
+			resp.Accepted = append(resp.Accepted, acc)
+			continue
+		}
+		status := http.StatusBadRequest
+		var rej *Rejection
+		var dup *DuplicateError
+		switch {
+		case errors.As(err, &rej):
+			if rej.Reason == "draining" {
+				status = http.StatusServiceUnavailable
+			} else {
+				status = http.StatusTooManyRequests
+				secs := rej.RetryAfter.Seconds()
+				resp.RetryAfterSeconds = secs
+				w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(secs))))
+			}
+		case errors.As(err, &dup):
+			status = http.StatusConflict
+		}
+		resp.Error = err.Error()
+		writeJSON(w, status, resp)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "job ID must be an integer"})
+		return
+	}
+	status, ok := s.Status(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown job %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stretchHist, _ := stats.NewHistogram(stretchHistLo, stretchHistHi, stretchHistBuckets)
+	waitHist, _ := stats.NewHistogram(waitHistLo, waitHistHi, waitHistBuckets)
+	s.reg.eachDone(func(j JobStatus) {
+		stretchHist.Observe(j.Stretch)
+		wait := j.Wait
+		if wait < waitHistLo {
+			wait = waitHistLo
+		}
+		waitHist.Observe(wait)
+	})
+
+	resp := MetricsResponse{
+		VirtualNow:       s.Now(),
+		Speedup:          s.cfg.Speedup,
+		UptimeSeconds:    s.pacer.wall().Sub(s.started).Seconds(),
+		State:            s.state(),
+		Counters:         s.CountersSnapshot(),
+		JobStates:        s.reg.stateCounts(),
+		QueueDepths:      make([]int, len(s.shards)),
+		StretchHistogram: stretchHist.Snapshot(),
+		WaitHistogram:    waitHist.Snapshot(),
+	}
+	for i, ch := range s.shards {
+		resp.QueueDepths[i] = len(ch)
+	}
+	s.liveMu.RLock()
+	resp.Grid = s.live
+	resp.GridVirtualTime = s.liveAt
+	s.liveMu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// state derives the health-status word.
+func (s *Server) state() string {
+	if s.Drained() {
+		return "drained"
+	}
+	if s.Draining() {
+		return "draining"
+	}
+	return "ok"
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:     s.state(),
+		VirtualNow: s.Now(),
+		Jobs:       s.Jobs(),
+	}
+	s.liveMu.RLock()
+	if s.refreshErr != nil {
+		resp.RefreshError = s.refreshErr.Error()
+	}
+	if s.snapshotErr != nil {
+		resp.SnapshotError = s.snapshotErr.Error()
+	}
+	s.liveMu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Drain()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// ListenAndServe starts the HTTP API on addr and blocks until the server
+// errors, like http.ListenAndServe. Most callers build their own
+// http.Server around Handler instead; this is the convenience entry point.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return srv.ListenAndServe()
+}

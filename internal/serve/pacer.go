@@ -1,0 +1,45 @@
+package serve
+
+import "time"
+
+// pacer maps wall-clock time onto the simulated event time of the grid: a
+// live service stamps every submission with a virtual release date so the
+// replay machinery (which thinks in simulated time units) can consume a
+// stream produced in real time. The speedup factor compresses wall time —
+// tests run a whole "day" of virtual load in milliseconds, production runs
+// at 1:1 — and the offset restores the virtual clock of a snapshotted
+// server, so a restart resumes where the old process stopped instead of
+// rewinding history.
+type pacer struct {
+	clock   func() time.Time
+	start   time.Time
+	offset  float64
+	speedup float64
+}
+
+func newPacer(clock func() time.Time, speedup, offset float64) *pacer {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &pacer{clock: clock, start: clock(), offset: offset, speedup: speedup}
+}
+
+// wall returns the current wall-clock time from the injected clock.
+func (p *pacer) wall() time.Time { return p.clock() }
+
+// at converts a wall-clock instant into virtual time.
+func (p *pacer) at(t time.Time) float64 {
+	return p.offset + t.Sub(p.start).Seconds()*p.speedup
+}
+
+// now returns the current virtual time.
+func (p *pacer) now() float64 { return p.at(p.clock()) }
+
+// realDuration converts a virtual duration into the wall-clock duration it
+// spans at the configured speedup: the unit of Retry-After hints.
+func (p *pacer) realDuration(virtual float64) time.Duration {
+	if virtual <= 0 {
+		return 0
+	}
+	return time.Duration(virtual / p.speedup * float64(time.Second))
+}

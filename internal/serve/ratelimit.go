@@ -1,0 +1,44 @@
+package serve
+
+import "time"
+
+// tokenBucket is the classic rate limiter of the submission front door:
+// tokens refill continuously at rate per wall-clock second up to burst, and
+// every accepted submission spends one. When the bucket is empty the
+// rejection carries the exact wall-clock wait until the next token, which
+// the HTTP layer turns into a Retry-After header.
+//
+// The bucket is not internally synchronized: every call happens under the
+// server's admission mutex, which also keeps the refill clock monotone.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now}
+}
+
+// take attempts to spend one token at the given instant. On failure it
+// returns how long the caller should wait before the next token exists.
+func (b *tokenBucket) take(now time.Time) (bool, time.Duration) {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,592 @@
+// Package serve turns the offline grid replay machinery into a live,
+// long-running scheduler service: clients submit moldable jobs over a
+// concurrent ingest front end while the portfolio scheduler runs, instead
+// of handing a finished arrival list to a batch replay.
+//
+// The architecture, front to back:
+//
+//   - A wall-clock pacer maps real time onto the grid's simulated event
+//     time (with a configurable speedup, so tests compress hours into
+//     milliseconds). Every accepted submission is stamped with the virtual
+//     time of its arrival — the release date the replay machinery needs.
+//   - Admission control guards the front door: a token-bucket rate limit
+//     (wall-clock jobs per second), a virtual-backlog limit (the same
+//     per-processor backlog clock the grid router uses, measured against
+//     the whole federation), and a sharded, bounded submission queue.
+//     Every rejection says how long to back off, which the HTTP layer
+//     turns into 429 + Retry-After.
+//   - A job registry tracks every admitted job through
+//     queued → batched → scheduled → running → done, with per-job stretch
+//     and bounded slowdown on completion.
+//   - A periodic refresher derives those live states by replaying the
+//     accumulated stream through the deterministic grid federation and
+//     trusting exactly the prefix that can no longer change: batches fired
+//     before the current virtual time are final, because every later
+//     submission carries a later release date.
+//   - Periodic JSON snapshots checkpoint the accepted stream and the
+//     virtual clock; a restarted server restores them and resumes where
+//     the old process stopped.
+//   - Graceful drain stops admissions, flushes the submission queues, runs
+//     the full deterministic replay and emits the final grid report — by
+//     construction identical to an offline grid run of the same stream.
+//
+// The HTTP surface is in http.go: POST /jobs (single and bulk),
+// GET /jobs/{id}, GET /metrics, GET /healthz, POST /drain.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"bicriteria/internal/grid"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/online"
+)
+
+// Defaults of the optional Config knobs.
+const (
+	// DefaultQueueShards is the number of submission queue shards.
+	DefaultQueueShards = 4
+	// DefaultQueueDepth is the per-shard submission queue capacity.
+	DefaultQueueDepth = 256
+	// DefaultRefreshInterval is the period of the live-state refresher.
+	DefaultRefreshInterval = time.Second
+	// DefaultSnapshotInterval is the period of the snapshot writer.
+	DefaultSnapshotInterval = 10 * time.Second
+)
+
+// Config drives a scheduler service.
+type Config struct {
+	// Grid configures the federation behind the service exactly like an
+	// offline grid replay: cluster shards, routing policy, dispatch queue
+	// depth, router-level admission steering. OnDecision must be nil (the
+	// service replays the stream repeatedly; it is forced to nil).
+	// A single-cluster service is a grid with one shard.
+	Grid grid.Config
+	// Speedup is the number of virtual time units per wall-clock second.
+	// Zero means 1 (real time); tests use large values to compress load.
+	Speedup float64
+	// SubmitRate is the token-bucket refill in jobs per wall-clock second.
+	// Zero disables rate limiting.
+	SubmitRate float64
+	// SubmitBurst is the bucket capacity; zero means max(1, ceil(rate)).
+	SubmitBurst int
+	// AdmitBacklog rejects submissions (429) while the service-wide
+	// estimated per-processor backlog, in virtual time units, exceeds the
+	// limit. Zero disables the check. This is the front-door guard; the
+	// grid router's own AdmitBacklog steers between shards and never
+	// rejects.
+	AdmitBacklog float64
+	// QueueShards and QueueDepth shape the sharded bounded submission
+	// queue. A full shard rejects with Retry-After (backpressure). Zeros
+	// mean the defaults.
+	QueueShards int
+	QueueDepth  int
+	// RefreshInterval is the period of the live-state refresher; zero
+	// means DefaultRefreshInterval, negative disables periodic refreshes
+	// (tests drive refreshes explicitly; drain still finalizes states).
+	RefreshInterval time.Duration
+	// SnapshotPath enables periodic JSON snapshots with restore-on-start:
+	// if the file exists when the server is built, the stream, counters
+	// and virtual clock are restored from it. Empty disables snapshots.
+	SnapshotPath string
+	// SnapshotInterval is the snapshot period; zero means
+	// DefaultSnapshotInterval, negative disables the periodic writer
+	// (drain still writes a final snapshot).
+	SnapshotInterval time.Duration
+	// Clock injects a wall clock for tests; nil means time.Now.
+	Clock func() time.Time
+}
+
+// Counters are the monotone admission statistics of a service.
+type Counters struct {
+	// Submitted counts accepted jobs, including jobs restored from a
+	// snapshot.
+	Submitted int `json:"submitted"`
+	// Restored counts the subset of Submitted that came from a snapshot.
+	Restored int `json:"restored,omitempty"`
+	// RejectedRate, RejectedBacklog and RejectedQueue count submissions
+	// refused by the token bucket, the virtual-backlog limit and a full
+	// queue shard.
+	RejectedRate    int `json:"rejected_rate_limit"`
+	RejectedBacklog int `json:"rejected_backlog"`
+	RejectedQueue   int `json:"rejected_queue_full"`
+}
+
+// Rejection is the typed refusal of a submission: why, and how long the
+// client should back off before retrying.
+type Rejection struct {
+	// Reason is "rate-limit", "backlog", "queue-full" or "draining".
+	Reason string
+	// RetryAfter is the suggested wall-clock back-off; zero for
+	// "draining", which never clears.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (r *Rejection) Error() string {
+	if r.RetryAfter > 0 {
+		return fmt.Sprintf("serve: submission rejected (%s), retry after %s", r.Reason, r.RetryAfter)
+	}
+	return fmt.Sprintf("serve: submission rejected (%s)", r.Reason)
+}
+
+// DuplicateError refuses a job ID that was already admitted.
+type DuplicateError struct{ ID int }
+
+// Error implements error.
+func (e *DuplicateError) Error() string {
+	return fmt.Sprintf("serve: job ID %d was already submitted", e.ID)
+}
+
+// Accepted acknowledges one admitted job: the virtual release date the
+// pacer stamped is what the final report's replay will use.
+type Accepted struct {
+	ID      int     `json:"id"`
+	Release float64 `json:"release"`
+}
+
+// FinalReport is the outcome of a drained service.
+type FinalReport struct {
+	// Policy is the routing policy name and Jobs the number of jobs the
+	// service admitted over its life.
+	Policy string `json:"policy"`
+	Jobs   int    `json:"jobs"`
+	// VirtualNow is the virtual time at which the drain started.
+	VirtualNow float64 `json:"virtual_now"`
+	// Metrics is the grid-wide aggregate of the final replay — identical
+	// to an offline grid run of the same submission stream.
+	Metrics grid.Metrics `json:"metrics"`
+	// Grid is the full underlying report (decisions, per-shard reports).
+	Grid *grid.Report `json:"-"`
+}
+
+// Server is a live scheduler service around a grid federation.
+type Server struct {
+	cfg        Config
+	fed        *grid.Federation
+	totalProcs int
+	pacer      *pacer
+	reg        *registry
+
+	// mu guards the admission state: the token bucket, the virtual
+	// backlog clock, the counters, the draining flag and the accepted
+	// stream. Admission is a short serialized section; the expensive work
+	// (replays) happens outside it.
+	mu       sync.Mutex
+	bucket   *tokenBucket
+	ready    float64
+	counters Counters
+	draining bool
+	stream   []online.Job
+
+	shards      []chan online.Job
+	collectorWG sync.WaitGroup
+
+	// runMu serializes federation replays: the refresher and the drain
+	// must not run the same engines concurrently.
+	runMu sync.Mutex
+
+	// liveMu guards the latest refresh digest served by /metrics.
+	liveMu      sync.RWMutex
+	live        *grid.Metrics
+	liveAt      float64
+	refreshErr  error
+	snapshotErr error
+
+	started  time.Time
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	loopWG   sync.WaitGroup
+
+	drainOnce sync.Once
+	final     *FinalReport
+	drainErr  error
+}
+
+// NewServer validates the configuration, builds the federation, restores
+// a snapshot when one exists, and starts the background loops (queue
+// collectors, live-state refresher, snapshot writer). The server is live
+// when NewServer returns; stop it with Drain.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Speedup < 0 || math.IsNaN(cfg.Speedup) || math.IsInf(cfg.Speedup, 0) {
+		return nil, fmt.Errorf("serve: speedup must be non-negative and finite, got %g", cfg.Speedup)
+	}
+	if cfg.Speedup == 0 {
+		cfg.Speedup = 1
+	}
+	if cfg.SubmitRate < 0 || math.IsNaN(cfg.SubmitRate) || math.IsInf(cfg.SubmitRate, 0) {
+		return nil, fmt.Errorf("serve: submit rate must be non-negative and finite, got %g", cfg.SubmitRate)
+	}
+	if cfg.AdmitBacklog < 0 || math.IsNaN(cfg.AdmitBacklog) || math.IsInf(cfg.AdmitBacklog, 0) {
+		return nil, fmt.Errorf("serve: admission backlog limit must be non-negative and finite, got %g", cfg.AdmitBacklog)
+	}
+	if cfg.QueueShards < 0 || cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: queue shards and depth must be non-negative")
+	}
+	if cfg.QueueShards == 0 {
+		cfg.QueueShards = DefaultQueueShards
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RefreshInterval == 0 {
+		cfg.RefreshInterval = DefaultRefreshInterval
+	}
+	if cfg.SnapshotInterval == 0 {
+		cfg.SnapshotInterval = DefaultSnapshotInterval
+	}
+	// The service replays the stream repeatedly; a decision callback would
+	// fire once per replay, not once per job.
+	cfg.Grid.OnDecision = nil
+	fed, err := grid.New(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, spec := range cfg.Grid.Clusters {
+		total += spec.M
+	}
+
+	s := &Server{
+		cfg:        cfg,
+		fed:        fed,
+		totalProcs: total,
+		reg:        newRegistry(),
+		stopCh:     make(chan struct{}),
+	}
+	offset := 0.0
+	if cfg.SnapshotPath != "" {
+		restored, err := s.restoreSnapshot(cfg.SnapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		offset = restored
+	}
+	s.pacer = newPacer(cfg.Clock, cfg.Speedup, offset)
+	s.started = s.pacer.wall()
+	if cfg.SubmitRate > 0 {
+		burst := cfg.SubmitBurst
+		if burst <= 0 {
+			burst = int(math.Ceil(cfg.SubmitRate))
+		}
+		s.bucket = newTokenBucket(cfg.SubmitRate, burst, s.started)
+	}
+
+	s.shards = make([]chan online.Job, cfg.QueueShards)
+	for i := range s.shards {
+		s.shards[i] = make(chan online.Job, cfg.QueueDepth)
+		s.collectorWG.Add(1)
+		go s.collect(s.shards[i])
+	}
+	if cfg.RefreshInterval > 0 {
+		s.loopWG.Add(1)
+		go s.refreshLoop(cfg.RefreshInterval)
+	}
+	if cfg.SnapshotPath != "" && cfg.SnapshotInterval > 0 {
+		s.loopWG.Add(1)
+		go s.snapshotLoop(cfg.SnapshotInterval)
+	}
+	return s, nil
+}
+
+// minWork is the front-door backlog contribution of a task: its least work
+// over all allocations, the same quantity the grid router charges its
+// virtual clocks with.
+func minWork(t moldable.Task) float64 {
+	w, _ := t.MinWork()
+	return w
+}
+
+// Submit admits one job: validation, duplicate check, token bucket,
+// virtual-backlog limit, then the sharded bounded queue, in that order.
+// Refusals are a *Rejection (back-off) or a *DuplicateError; validation
+// failures are plain errors. The returned Accepted carries the virtual
+// release date the pacer stamped.
+func (s *Server) Submit(task moldable.Task) (Accepted, error) {
+	if err := task.Validate(); err != nil {
+		return Accepted{}, err
+	}
+	pmin, _ := task.MinTime()
+	work := minWork(task)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The clock is read under the admission mutex, so release dates are
+	// non-decreasing in admission order — the property the refresher's
+	// prefix rule builds on.
+	now := s.pacer.wall()
+	if s.draining {
+		return Accepted{}, &Rejection{Reason: "draining"}
+	}
+	if s.reg.has(task.ID) {
+		return Accepted{}, &DuplicateError{ID: task.ID}
+	}
+	if s.bucket != nil {
+		if ok, retry := s.bucket.take(now); !ok {
+			s.counters.RejectedRate++
+			return Accepted{}, &Rejection{Reason: "rate-limit", RetryAfter: retry}
+		}
+	}
+	vnow := s.pacer.at(now)
+	if s.cfg.AdmitBacklog > 0 {
+		if backlog := s.ready - vnow; backlog > s.cfg.AdmitBacklog {
+			s.counters.RejectedBacklog++
+			retry := s.pacer.realDuration(backlog - s.cfg.AdmitBacklog)
+			return Accepted{}, &Rejection{Reason: "backlog", RetryAfter: retry}
+		}
+	}
+	shard := s.shards[shardOf(task.ID, len(s.shards))]
+	select {
+	case shard <- online.Job{Task: task, Release: vnow}:
+	default:
+		s.counters.RejectedQueue++
+		// A full shard clears as fast as the collector drains it, which is
+		// quick; suggest a backlog-scaled wait with a small floor.
+		retry := s.pacer.realDuration(1)
+		if retry < 10*time.Millisecond {
+			retry = 10 * time.Millisecond
+		}
+		return Accepted{}, &Rejection{Reason: "queue-full", RetryAfter: retry}
+	}
+	if s.ready < vnow {
+		s.ready = vnow
+	}
+	s.ready += work / float64(s.totalProcs)
+	s.counters.Submitted++
+	s.reg.add(task.ID, task.Name, task.Weight, vnow, pmin)
+	return Accepted{ID: task.ID, Release: vnow}, nil
+}
+
+// shardOf spreads job IDs over the queue shards.
+func shardOf(id, shards int) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int(h % uint64(shards))
+}
+
+// collect drains one queue shard into the accepted stream.
+func (s *Server) collect(ch chan online.Job) {
+	defer s.collectorWG.Done()
+	for j := range ch {
+		s.mu.Lock()
+		s.stream = append(s.stream, j)
+		s.mu.Unlock()
+	}
+}
+
+// Status returns the live status of a submitted job.
+func (s *Server) Status(id int) (JobStatus, bool) { return s.reg.get(id) }
+
+// Jobs returns the number of admitted jobs.
+func (s *Server) Jobs() int { return s.reg.len() }
+
+// Now returns the current virtual time.
+func (s *Server) Now() float64 { return s.pacer.now() }
+
+// CountersSnapshot returns the current admission counters.
+func (s *Server) CountersSnapshot() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// Draining reports whether admissions are closed.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// refreshLoop periodically refreshes the live job states.
+func (s *Server) refreshLoop(every time.Duration) {
+	defer s.loopWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			err := s.refresh()
+			s.liveMu.Lock()
+			s.refreshErr = err
+			s.liveMu.Unlock()
+		}
+	}
+}
+
+// refresh replays the accumulated stream through the federation and
+// updates the registry with every state the replay has already fixed.
+//
+// The prefix argument: the virtual time vnow is captured before the stream
+// is copied, and every job admitted later carries a release date after
+// vnow. A batch that fired at or before vnow therefore contains exactly
+// the jobs a full-stream replay would give it — later arrivals cannot
+// join it, and batching policies only consult the pending backlog — so
+// its routing, membership and realized execution are final. States beyond
+// vnow (a scheduled start in the future) are provisional and never
+// downgraded.
+func (s *Server) refresh() error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	jobs, vnow := s.capture()
+	if len(jobs) == 0 {
+		s.liveMu.Lock()
+		s.liveAt = vnow
+		s.liveMu.Unlock()
+		return nil
+	}
+	rep, err := s.fed.Run(jobs)
+	if err != nil {
+		return err
+	}
+	s.apply(rep, vnow, false)
+	s.liveMu.Lock()
+	s.live = &rep.Metrics
+	if !math.IsInf(vnow, -1) {
+		s.liveAt = vnow
+	}
+	s.liveMu.Unlock()
+	return nil
+}
+
+// capture snapshots the accepted stream together with the virtual time of
+// the capture. The virtual time is read first, under the admission mutex;
+// the copy is then delayed until the queue collectors have caught up with
+// every admission stamped before it, so the prefix rules of apply never
+// finalize a batch whose true membership is still sitting in a shard
+// queue. Collectors only ever hold the mutex to append, so the catch-up
+// wait is microseconds; if it ever exceeds its bound, the capture returns
+// a -Inf virtual time, which makes the refresh a safe no-op.
+func (s *Server) capture() ([]online.Job, float64) {
+	s.mu.Lock()
+	vnow := s.pacer.now()
+	admitted := s.counters.Submitted
+	s.mu.Unlock()
+	for i := 0; ; i++ {
+		s.mu.Lock()
+		if len(s.stream) >= admitted {
+			jobs := append([]online.Job(nil), s.stream...)
+			s.mu.Unlock()
+			return jobs, vnow
+		}
+		s.mu.Unlock()
+		if i >= 200 {
+			s.mu.Lock()
+			jobs := append([]online.Job(nil), s.stream...)
+			s.mu.Unlock()
+			return jobs, math.Inf(-1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// eps is the shared floating-point tolerance of the scheduling library.
+const eps = moldable.Eps
+
+// apply folds a replay report into the registry. When final is true the
+// whole report is trusted (the drain's full replay); otherwise only the
+// prefix strictly fixed before vnow is: the engines admit arrivals within
+// eps of a fire time, so a batch (or routing decision) at vnow's margin
+// could still gain a concurrent submission and is left provisional.
+func (s *Server) apply(rep *grid.Report, vnow float64, final bool) {
+	for _, d := range rep.Decisions {
+		if final || d.Release < vnow-eps {
+			s.reg.setRouting(d.JobID, d.Cluster)
+		}
+	}
+	for _, crep := range rep.Clusters {
+		fired := make(map[int]bool)
+		for bi, b := range crep.Batches {
+			if !final && b.FireTime >= vnow-eps {
+				continue
+			}
+			for _, id := range b.Jobs {
+				fired[id] = true
+				s.reg.markBatched(id, bi)
+			}
+		}
+		for _, a := range crep.Schedule.Assignments {
+			if !fired[a.TaskID] {
+				continue
+			}
+			end := a.End()
+			switch {
+			case final || end <= vnow:
+				s.reg.markDone(a.TaskID, a.Start, end)
+			case a.Start <= vnow:
+				s.reg.markRunning(a.TaskID, a.Start, end)
+			default:
+				s.reg.markScheduled(a.TaskID, a.Start, end)
+			}
+		}
+	}
+}
+
+// stopLoops stops the refresher and the snapshot writer.
+func (s *Server) stopLoops() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.loopWG.Wait()
+}
+
+// Drain gracefully stops the service: admissions close (further submits
+// are rejected with "draining"), the background loops stop, the
+// submission queues flush, the full stream replays through the federation
+// one final time, every job is finalized in the registry, a final
+// snapshot is written when snapshots are configured, and the grid report
+// comes back. Drain is idempotent; later calls return the same report.
+func (s *Server) Drain() (*FinalReport, error) {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		s.stopLoops()
+		for _, ch := range s.shards {
+			close(ch)
+		}
+		s.collectorWG.Wait()
+
+		s.runMu.Lock()
+		defer s.runMu.Unlock()
+		vnow := s.pacer.now()
+		s.mu.Lock()
+		jobs := append([]online.Job(nil), s.stream...)
+		s.mu.Unlock()
+		rep, err := s.fed.Run(jobs)
+		if err != nil {
+			s.drainErr = err
+			return
+		}
+		s.apply(rep, vnow, true)
+		s.liveMu.Lock()
+		s.live = &rep.Metrics
+		s.liveAt = vnow
+		s.liveMu.Unlock()
+		s.liveMu.Lock()
+		s.final = &FinalReport{
+			Policy:     rep.Policy,
+			Jobs:       len(jobs),
+			VirtualNow: vnow,
+			Metrics:    rep.Metrics,
+			Grid:       rep,
+		}
+		s.liveMu.Unlock()
+		if s.cfg.SnapshotPath != "" {
+			if err := s.writeSnapshot(); err != nil {
+				s.liveMu.Lock()
+				s.snapshotErr = err
+				s.liveMu.Unlock()
+			}
+		}
+	})
+	return s.final, s.drainErr
+}
+
+// Drained reports whether the service has finished draining.
+func (s *Server) Drained() bool {
+	s.liveMu.RLock()
+	defer s.liveMu.RUnlock()
+	return s.final != nil
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/online"
+)
+
+// snapshotFile is the on-disk checkpoint of a running service: the
+// accepted stream (tasks with their virtual release stamps), the virtual
+// clock and the admission counters. It is a periodic checkpoint, not a
+// write-ahead log: submissions admitted after the last write are lost on
+// a crash (a graceful drain always writes a final, complete snapshot).
+type snapshotFile struct {
+	// Version of the format, currently 1.
+	Version int `json:"version"`
+	// VirtualNow is the virtual clock at the time of the snapshot; a
+	// restored server resumes its pacer from it.
+	VirtualNow float64 `json:"virtual_now"`
+	// Drained records whether the snapshot is the final one of a drain.
+	Drained  bool          `json:"drained"`
+	Counters Counters      `json:"counters"`
+	Jobs     []snapshotJob `json:"jobs"`
+}
+
+type snapshotJob struct {
+	ID      int       `json:"id"`
+	Name    string    `json:"name,omitempty"`
+	Weight  float64   `json:"weight"`
+	Times   []float64 `json:"times"`
+	Release float64   `json:"release"`
+}
+
+const snapshotVersion = 1
+
+// writeSnapshot checkpoints the current state to cfg.SnapshotPath,
+// atomically (write to a temp file in the same directory, then rename).
+func (s *Server) writeSnapshot() error {
+	// capture waits for the queue collectors to catch up with every
+	// admission, so the checkpoint never misses a job still in flight
+	// between the front door and the stream.
+	jobs, _ := s.capture()
+	s.mu.Lock()
+	snap := snapshotFile{
+		Version:    snapshotVersion,
+		VirtualNow: s.pacer.now(),
+		Counters:   s.counters,
+		Jobs:       make([]snapshotJob, len(jobs)),
+	}
+	s.mu.Unlock()
+	// An admission may land between the capture and the counters read:
+	// pin Submitted to the jobs actually checkpointed, or a restored
+	// server would wait forever for stream entries that never existed.
+	snap.Counters.Submitted = len(jobs)
+	for i, j := range jobs {
+		snap.Jobs[i] = snapshotJob{
+			ID: j.Task.ID, Name: j.Task.Name, Weight: j.Task.Weight,
+			Times: j.Task.Times, Release: j.Release,
+		}
+	}
+	s.liveMu.RLock()
+	snap.Drained = s.final != nil
+	s.liveMu.RUnlock()
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(s.cfg.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, ".serve-snapshot-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.cfg.SnapshotPath)
+}
+
+// restoreSnapshot loads a checkpoint if one exists at path, rebuilding the
+// stream, the registry and the admission backlog clock, and returns the
+// virtual-clock offset the pacer should resume from. A missing file is a
+// fresh start, not an error. Called before the background loops start, so
+// no locking is needed.
+func (s *Server) restoreSnapshot(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("serve: cannot decode snapshot %s: %w", path, err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("serve: unsupported snapshot version %d (want %d)", snap.Version, snapshotVersion)
+	}
+	for i, sj := range snap.Jobs {
+		task := moldable.Task{ID: sj.ID, Name: sj.Name, Weight: sj.Weight, Times: sj.Times}
+		if err := task.Validate(); err != nil {
+			return 0, fmt.Errorf("serve: snapshot job %d: %w", i, err)
+		}
+		if sj.Release < 0 || sj.Release > snap.VirtualNow {
+			return 0, fmt.Errorf("serve: snapshot job %d has release %g outside [0, %g]", i, sj.Release, snap.VirtualNow)
+		}
+		if s.reg.has(task.ID) {
+			return 0, fmt.Errorf("serve: snapshot has duplicate job ID %d", task.ID)
+		}
+		pmin, _ := task.MinTime()
+		s.stream = append(s.stream, online.Job{Task: task, Release: sj.Release})
+		s.reg.add(task.ID, task.Name, task.Weight, sj.Release, pmin)
+		// Recharge the front-door backlog clock exactly as the original
+		// admissions did.
+		if s.ready < sj.Release {
+			s.ready = sj.Release
+		}
+		s.ready += minWork(task) / float64(s.totalProcs)
+	}
+	s.counters = snap.Counters
+	// The restored stream IS the submitted history: pin the counter to it
+	// (a hand-edited snapshot must not leave capture() waiting for stream
+	// entries that never existed).
+	s.counters.Submitted = len(snap.Jobs)
+	s.counters.Restored = len(snap.Jobs)
+	return snap.VirtualNow, nil
+}
+
+// snapshotLoop periodically writes checkpoints.
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer s.loopWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			err := s.writeSnapshot()
+			s.liveMu.Lock()
+			s.snapshotErr = err
+			s.liveMu.Unlock()
+		}
+	}
+}

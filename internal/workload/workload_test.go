@@ -3,6 +3,9 @@ package workload
 import (
 	"bytes"
 	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -437,5 +440,46 @@ func TestArrivalConfigValidatesDistributions(t *testing.T) {
 	bad.RuntimeTailShape = math.Inf(1)
 	if _, err := GenerateArrivals(bad); err == nil {
 		t.Fatal("infinite shape accepted")
+	}
+}
+
+func TestArrivalsRoundTrip(t *testing.T) {
+	arrivals, err := GenerateArrivals(ArrivalConfig{
+		Workload:     Config{Kind: Mixed, M: 16, N: 25, Seed: 7},
+		Rate:         3,
+		BurstSize:    4,
+		Interarrival: DistLognormal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "arrivals.json")
+	if err := SaveArrivals(path, 16, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	loaded, m, err := LoadArrivals(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 16 {
+		t.Fatalf("machine size %d, want 16", m)
+	}
+	if !reflect.DeepEqual(arrivals, loaded) {
+		t.Fatalf("arrival stream did not round-trip:\nwrote %+v\nread  %+v", arrivals[:2], loaded[:2])
+	}
+}
+
+func TestReadArrivalsRejectsBadStreams(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         "not json",
+		"bad version":     `{"version": 99, "arrivals": []}`,
+		"negative submit": `{"version": 1, "arrivals": [{"submit": -1, "id": 1, "weight": 1, "times": [2]}]}`,
+		"order break":     `{"version": 1, "arrivals": [{"submit": 5, "id": 1, "weight": 1, "times": [2]}, {"submit": 4, "id": 2, "weight": 1, "times": [2]}]}`,
+		"invalid task":    `{"version": 1, "arrivals": [{"submit": 0, "id": 1, "weight": 1, "times": []}]}`,
+	}
+	for name, body := range cases {
+		if _, _, err := ReadArrivals(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
 	}
 }
