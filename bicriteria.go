@@ -8,6 +8,7 @@ import (
 	"bicriteria/internal/core"
 	"bicriteria/internal/dualapprox"
 	"bicriteria/internal/experiment"
+	"bicriteria/internal/faults"
 	"bicriteria/internal/grid"
 	"bicriteria/internal/lowerbound"
 	"bicriteria/internal/moldable"
@@ -499,11 +500,12 @@ type ServeJobState = serve.JobState
 
 // Serve job lifecycle states.
 const (
-	ServeStateQueued    = serve.StateQueued
-	ServeStateBatched   = serve.StateBatched
-	ServeStateScheduled = serve.StateScheduled
-	ServeStateRunning   = serve.StateRunning
-	ServeStateDone      = serve.StateDone
+	ServeStateQueued      = serve.StateQueued
+	ServeStateBatched     = serve.StateBatched
+	ServeStateScheduled   = serve.StateScheduled
+	ServeStateRunning     = serve.StateRunning
+	ServeStateResubmitted = serve.StateResubmitted
+	ServeStateDone        = serve.StateDone
 )
 
 // ServeJobStatus is the live view of one submitted job.
@@ -527,6 +529,95 @@ type ServeFinalReport = serve.FinalReport
 // one exists, and starts the service (queue collectors, refresher,
 // snapshot writer). Stop it with Drain.
 func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.NewServer(cfg) }
+
+// ---------------------------------------------------------------------------
+// Fault injection and self-healing rescheduling
+// ---------------------------------------------------------------------------
+
+// FaultsPlan is a deterministic fault scenario: node crash/repair windows
+// and whole-shard outages, known in full before a replay starts. The zero
+// (or nil) plan injects nothing and leaves every layer's output
+// byte-identical to a run without the subsystem.
+type FaultsPlan = faults.Plan
+
+// FaultsConfig drives the seeded fault-event generator: Weibull MTBF per
+// node, lognormal repairs, correlated multi-node failures and whole-shard
+// outages.
+type FaultsConfig = faults.Config
+
+// FaultsNodeOutage is one node of one cluster down during [Start, End).
+type FaultsNodeOutage = faults.NodeOutage
+
+// FaultsShardOutage is a whole grid shard down during [Start, End).
+type FaultsShardOutage = faults.ShardOutage
+
+// FaultWindow is a set of processors of one machine down during
+// [Start, End): what a cluster engine consumes as Outages.
+type FaultWindow = faults.Window
+
+// GenerateFaults builds the deterministic fault plan of the configuration:
+// a pure function of the config, whatever the call order or the machine.
+func GenerateFaults(cfg FaultsConfig) (*FaultsPlan, error) { return faults.Generate(cfg) }
+
+// SuggestFaultHorizon estimates a fault-generation horizon for a job
+// stream from its last submission and total minimum work on the machine.
+func SuggestFaultHorizon(maxRelease, totalMinWork float64, procs int) float64 {
+	return faults.SuggestHorizon(maxRelease, totalMinWork, procs)
+}
+
+// GenerateFaultsForJobs generates the fault plan of a job stream: when
+// cfg.Horizon is zero it is estimated with SuggestFaultHorizon from the
+// stream's last release and total minimum work over the total processors
+// of cfg.Clusters. This is the one helper both CLIs use, so a given
+// (seed, stream, cluster sizes) names the same disaster everywhere.
+func GenerateFaultsForJobs(cfg FaultsConfig, jobs []OnlineJob) (*FaultsPlan, error) {
+	if cfg.Horizon == 0 {
+		maxRelease, work := 0.0, 0.0
+		for i := range jobs {
+			if jobs[i].Release > maxRelease {
+				maxRelease = jobs[i].Release
+			}
+			w, _ := jobs[i].Task.MinWork()
+			work += w
+		}
+		procs := 0
+		for _, m := range cfg.Clusters {
+			procs += m
+		}
+		cfg.Horizon = faults.SuggestHorizon(maxRelease, work, procs)
+	}
+	return faults.Generate(cfg)
+}
+
+// ParseClusterReplan builds a replan policy from its CLI name ("restart"
+// or "checkpoint") and checkpoint credit (0 = full credit).
+func ParseClusterReplan(kind string, credit float64) (ClusterReplanPolicy, error) {
+	k, err := cluster.ParseReplanKind(kind)
+	if err != nil {
+		return ClusterReplanPolicy{}, err
+	}
+	return ClusterReplanPolicy{Kind: k, Credit: credit}, nil
+}
+
+// ClusterReplanPolicy decides what a killed job looks like when it rejoins
+// the queue: restart from scratch, or checkpoint-credit the finished work.
+type ClusterReplanPolicy = cluster.ReplanPolicy
+
+// ClusterReplanKind selects the replan model.
+type ClusterReplanKind = cluster.ReplanKind
+
+// Replan models for killed jobs.
+const (
+	ClusterReplanRestart    = cluster.ReplanRestart
+	ClusterReplanCheckpoint = cluster.ReplanCheckpoint
+)
+
+// ParseClusterReplanKind converts "restart" or "checkpoint" into a replan
+// kind.
+func ParseClusterReplanKind(s string) (ClusterReplanKind, error) { return cluster.ParseReplanKind(s) }
+
+// ClusterKillEvent records one job killed by an outage during a run.
+type ClusterKillEvent = cluster.KillEvent
 
 // ---------------------------------------------------------------------------
 // Node reservations (section 5 of the paper, "on-going works")

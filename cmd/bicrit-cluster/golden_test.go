@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files: go test ./cmd/... -update
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got with testdata/<name>, or rewrites the golden
+// under -update. Golden files pin the exact report shape (and the exact
+// numbers — every replay is deterministic), so any drift in either is a
+// test failure, not a silent change.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with: go test ./cmd/... -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenReport(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-m", "32", "-n", "60", "-rate", "3", "-seed", "5", "-noise", "0.2",
+		"-policy", "adaptive", "-objective", "combined", "-reserve", "8:10:30", "-v"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden", buf.Bytes())
+}
+
+func TestGoldenReportWithFaults(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-m", "16", "-n", "80", "-rate", "8", "-seed", "3",
+		"-fault-mtbf", "10", "-fault-repair", "4", "-replan", "checkpoint", "-v"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.Contains(out, []byte("fault injection")) || !bytes.Contains(out, []byte("kills")) {
+		t.Fatalf("faulted report lacks the fault metrics section:\n%s", out)
+	}
+	checkGolden(t, "report_faults.golden", out)
+}

@@ -78,6 +78,14 @@ func run(args []string, out io.Writer) error {
 	noise := fs.Float64("noise", 0, "runtime perturbation fraction (realized in planned*[1-noise, 1+noise])")
 	sequential := fs.Bool("sequential", false, "run the portfolio sequentially instead of in parallel goroutines")
 	verbose := fs.Bool("v", false, "print one line per committed batch")
+	faultMTBF := fs.Float64("fault-mtbf", 0, "fault injection: mean time between failures per node (0 = no faults)")
+	faultShape := fs.Float64("fault-shape", 0, "Weibull shape of the time-between-failures law (0 = default)")
+	faultRepair := fs.Float64("fault-repair", 0, "mean node repair duration (0 = mtbf/10)")
+	faultSeed := fs.Int64("fault-seed", 0, "seed of the fault plan (0 = -seed)")
+	faultCorrMTBF := fs.Float64("fault-corr-mtbf", 0, "mean time between correlated group failures per cluster (0 = none)")
+	faultCorrSize := fs.Int("fault-corr-size", 0, "nodes per correlated failure group (0 = quarter of the machine)")
+	replanFlag := fs.String("replan", "restart", "resubmission of killed jobs: restart or checkpoint")
+	checkpointCredit := fs.Float64("checkpoint-credit", 0, "fraction of finished work a checkpoint restart keeps, in [0,1] (0 = full credit)")
 	var reserves reserveFlags
 	fs.Var(&reserves, "reserve", "block procs:start:end for a reservation (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +99,29 @@ func run(args []string, out io.Writer) error {
 	jobs, err := loadJobs(*tracePath, *kindFlag, *m, *n, *seed, *rate, *burst)
 	if err != nil {
 		return err
+	}
+	replan, err := bicriteria.ParseClusterReplan(*replanFlag, *checkpointCredit)
+	if err != nil {
+		return err
+	}
+	var plan *bicriteria.FaultsPlan
+	if *faultMTBF > 0 || *faultCorrMTBF > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		plan, err = bicriteria.GenerateFaultsForJobs(bicriteria.FaultsConfig{
+			Seed:           fseed,
+			Clusters:       []int{*m},
+			MTBF:           *faultMTBF,
+			Shape:          *faultShape,
+			RepairMean:     *faultRepair,
+			CorrelatedMTBF: *faultCorrMTBF,
+			CorrelatedSize: *faultCorrSize,
+		}, jobs)
+		if err != nil {
+			return err
+		}
 	}
 
 	policy, err := buildPolicy(*policyFlag, *interval, *workFactor*float64(*m), *maxDelay)
@@ -111,11 +142,19 @@ func run(args []string, out io.Writer) error {
 		Perturb:      perturb,
 		Sequential:   *sequential,
 	}
+	if plan != nil {
+		cfg.Outages = plan.ClusterWindows(0, *m)
+		cfg.Replan = replan
+	}
 	if *verbose {
 		cfg.OnBatch = func(br bicriteria.ClusterBatchReport) {
-			fmt.Fprintf(out, "batch %3d  t=%9.2f  jobs=%3d  winner=%-9s  planned=%8.2f  realized=%8.2f  util=%5.1f%%\n",
+			killed := ""
+			if len(br.Killed) > 0 {
+				killed = fmt.Sprintf("  killed=%d", len(br.Killed))
+			}
+			fmt.Fprintf(out, "batch %3d  t=%9.2f  jobs=%3d  winner=%-9s  planned=%8.2f  realized=%8.2f  util=%5.1f%%%s\n",
 				br.Index, br.FireTime, len(br.Jobs), br.Winner, br.PlannedMakespan, br.RealizedMakespan,
-				100*br.Cumulative.Utilization)
+				100*br.Cumulative.Utilization, killed)
 		}
 	}
 
@@ -206,6 +245,11 @@ func printReport(out io.Writer, cfg *bicriteria.ClusterConfig, report *bicriteri
 	fmt.Fprintf(out, "  delayed tasks         %d\n", met.Delayed)
 	if len(cfg.Reservations) > 0 {
 		fmt.Fprintf(out, "  reservations          %d (all respected)\n", len(cfg.Reservations))
+	}
+	if len(cfg.Outages) > 0 {
+		fmt.Fprintf(out, "  fault injection       %d outage windows (%s replan)\n", len(cfg.Outages), cfg.Replan.Kind)
+		fmt.Fprintf(out, "  kills                 %d (resubmitted %d, recovered %d, lost %d)\n",
+			met.Killed, met.Resubmitted, met.Recovered, met.Lost)
 	}
 	names := make([]string, 0, len(met.Wins))
 	for name := range met.Wins {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files: go test ./cmd/... -update
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got with testdata/<name>, or rewrites the golden
+// under -update. The goldens pin the report, JSON and CSV shapes byte for
+// byte — including that fault metrics columns appear exactly when a fault
+// plan is active.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with: go test ./cmd/... -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenRun executes the CLI with JSON and CSV exports and checks all
+// three artifacts against their goldens.
+func goldenRun(t *testing.T, prefix string, args []string) {
+	t.Helper()
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	csvPath := filepath.Join(dir, "clusters.csv")
+	var buf bytes.Buffer
+	if err := run(append(args, "-json", jsonPath, "-csv", csvPath), &buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, prefix+".golden", buf.Bytes())
+	jsonData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, prefix+".json.golden", jsonData)
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, prefix+".csv.golden", csvData)
+}
+
+func TestGoldenReport(t *testing.T) {
+	goldenRun(t, "report", []string{
+		"-clusters", "16,8,8", "-n", "60", "-rate", "5", "-seed", "2",
+		"-noise", "0.2", "-admit", "30", "-routing", "least-backlog",
+	})
+}
+
+func TestGoldenReportWithFaults(t *testing.T) {
+	goldenRun(t, "report_faults", []string{
+		"-clusters", "16,8,8", "-n", "100", "-rate", "8", "-seed", "2",
+		"-fault-mtbf", "15", "-fault-repair", "5",
+		"-shard-mtbf", "60", "-shard-repair", "15",
+	})
+}
+
+// TestGoldenCSVFaultColumns pins the column contract: fault metrics
+// columns appear exactly when a fault plan is active.
+func TestGoldenCSVFaultColumns(t *testing.T) {
+	plain, err := os.ReadFile(filepath.Join("testdata", "report.csv.golden"))
+	if err != nil {
+		t.Skip("goldens not generated yet; run go test ./cmd/... -update")
+	}
+	faulted, err := os.ReadFile(filepath.Join("testdata", "report_faults.csv.golden"))
+	if err != nil {
+		t.Skip("goldens not generated yet; run go test ./cmd/... -update")
+	}
+	if bytes.Contains(plain, []byte("killed")) {
+		t.Fatal("zero-fault CSV contains fault columns")
+	}
+	for _, col := range []string{"killed", "resubmitted", "migrated", "recovered", "lost"} {
+		if !bytes.Contains(faulted, []byte(col)) {
+			t.Fatalf("faulted CSV lacks the %s column", col)
+		}
+	}
+}

@@ -52,7 +52,7 @@ func run(args []string, out io.Writer) error {
 	runtimeShape := fs.Float64("runtime-shape", 0, "shape of the runtime scaling law (0 = default)")
 	routingFlag := fs.String("routing", "least-backlog", "routing policy: round-robin, least-backlog, lower-bound or moldability")
 	admit := fs.Float64("admit", 0, "admission control: close a cluster above this estimated per-processor backlog (0 = unlimited)")
-	queue := fs.Int("queue", 0, "bounded in-flight dispatch queue per shard (0 = default)")
+	queue := fs.Int("queue", 0, "dispatch queue depth per shard (retained for compatibility; routing now precomputes sub-streams)")
 	policyFlag := fs.String("batch", "idle", "per-shard batching policy: idle, interval or adaptive")
 	interval := fs.Float64("interval", 25, "period of the interval batching policy")
 	workFactor := fs.Float64("work-factor", 4, "adaptive batching: fire once backlog work >= work-factor * m")
@@ -62,6 +62,16 @@ func run(args []string, out io.Writer) error {
 	noise := fs.Float64("noise", 0, "runtime perturbation fraction, seeded independently per cluster")
 	sequential := fs.Bool("sequential", false, "run the whole grid sequentially (shards and portfolios)")
 	verbose := fs.Bool("v", false, "print one line per routing decision")
+	faultMTBF := fs.Float64("fault-mtbf", 0, "fault injection: mean time between failures per node (0 = no node faults)")
+	faultShape := fs.Float64("fault-shape", 0, "Weibull shape of the time-between-failures law (0 = default)")
+	faultRepair := fs.Float64("fault-repair", 0, "mean node repair duration (0 = mtbf/10)")
+	faultSeed := fs.Int64("fault-seed", 0, "seed of the fault plan (0 = -seed)")
+	faultCorrMTBF := fs.Float64("fault-corr-mtbf", 0, "mean time between correlated group failures per cluster (0 = none)")
+	faultCorrSize := fs.Int("fault-corr-size", 0, "nodes per correlated failure group (0 = quarter of the cluster)")
+	shardMTBF := fs.Float64("shard-mtbf", 0, "mean time between whole-shard outages per cluster (0 = none)")
+	shardRepair := fs.Float64("shard-repair", 0, "mean shard outage duration (0 = shard-mtbf/10)")
+	replanFlag := fs.String("replan", "restart", "resubmission of killed jobs: restart or checkpoint")
+	checkpointCredit := fs.Float64("checkpoint-credit", 0, "fraction of finished work a checkpoint restart keeps, in [0,1] (0 = full credit)")
 	jsonPath := fs.String("json", "", "write the full grid report (metrics, per-cluster, decisions) as JSON")
 	csvPath := fs.String("csv", "", "write the per-cluster summary table as CSV")
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +93,31 @@ func run(args []string, out io.Writer) error {
 	objective, err := buildObjective(*objectiveFlag, *alpha)
 	if err != nil {
 		return err
+	}
+	replan, err := bicriteria.ParseClusterReplan(*replanFlag, *checkpointCredit)
+	if err != nil {
+		return err
+	}
+	var plan *bicriteria.FaultsPlan
+	if *faultMTBF > 0 || *faultCorrMTBF > 0 || *shardMTBF > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		plan, err = bicriteria.GenerateFaultsForJobs(bicriteria.FaultsConfig{
+			Seed:            fseed,
+			Clusters:        sizes,
+			MTBF:            *faultMTBF,
+			Shape:           *faultShape,
+			RepairMean:      *faultRepair,
+			CorrelatedMTBF:  *faultCorrMTBF,
+			CorrelatedSize:  *faultCorrSize,
+			ShardMTBF:       *shardMTBF,
+			ShardRepairMean: *shardRepair,
+		}, jobs)
+		if err != nil {
+			return err
+		}
 	}
 
 	specs := make([]bicriteria.GridClusterSpec, len(sizes))
@@ -113,10 +148,18 @@ func run(args []string, out io.Writer) error {
 		AdmitBacklog: *admit,
 		Sequential:   *sequential,
 	}
+	if plan != nil {
+		cfg.Faults = plan
+		cfg.Replan = replan
+	}
 	if *verbose {
 		cfg.OnDecision = func(d bicriteria.GridDecision) {
-			fmt.Fprintf(out, "route job %4d  t=%9.2f  -> cluster %d  (backlog %.2f)\n",
-				d.JobID, d.Release, d.Cluster, d.Backlog)
+			migrated := ""
+			if d.Migrated {
+				migrated = "  [migrated]"
+			}
+			fmt.Fprintf(out, "route job %4d  t=%9.2f  -> cluster %d  (backlog %.2f)%s\n",
+				d.JobID, d.Release, d.Cluster, d.Backlog, migrated)
 		}
 	}
 
@@ -124,14 +167,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	printReport(out, sizes, report, len(jobs))
+	printReport(out, sizes, report, len(jobs), plan)
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, report); err != nil {
 			return err
 		}
 	}
 	if *csvPath != "" {
-		if err := writeCSV(*csvPath, report); err != nil {
+		if err := writeCSV(*csvPath, report, plan != nil); err != nil {
 			return err
 		}
 	}
@@ -220,7 +263,7 @@ func buildObjective(name string, alpha float64) (bicriteria.ClusterObjective, er
 	return bicriteria.ClusterObjective{}, fmt.Errorf("unknown objective %q (want makespan, minsum or combined)", name)
 }
 
-func printReport(out io.Writer, sizes []int, report *bicriteria.GridReport, jobs int) {
+func printReport(out io.Writer, sizes []int, report *bicriteria.GridReport, jobs int, plan *bicriteria.FaultsPlan) {
 	met := report.Metrics
 	total := 0
 	for _, m := range sizes {
@@ -237,6 +280,12 @@ func printReport(out io.Writer, sizes []int, report *bicriteria.GridReport, jobs
 		met.MeanBoundedSlowdown, met.BoundedSlowdownP50, met.BoundedSlowdownP95, met.BoundedSlowdownP99)
 	fmt.Fprintf(out, "  grid utilization      %.1f%%\n", 100*met.Utilization)
 	fmt.Fprintf(out, "  admission rejections  %d\n", met.Rejections)
+	faulted := plan != nil
+	if faulted {
+		fmt.Fprintf(out, "  fault plan            %d node outages, %d shard outages\n", len(plan.Nodes), len(plan.Shards))
+		fmt.Fprintf(out, "  kills                 %d (resubmitted %d, migrated %d, recovered %d, lost %d)\n",
+			met.Killed, met.Resubmitted, met.Migrated, met.Recovered, met.Lost)
+	}
 	fmt.Fprintln(out, "per-cluster:")
 	for _, pc := range met.PerCluster {
 		winners := make([]string, 0, len(pc.Wins))
@@ -248,8 +297,12 @@ func printReport(out io.Writer, sizes []int, report *bicriteria.GridReport, jobs
 		for _, name := range winners {
 			wins = append(wins, fmt.Sprintf("%s:%d", name, pc.Wins[name]))
 		}
-		fmt.Fprintf(out, "  cluster %d  m=%-4d jobs=%-4d batches=%-3d makespan=%8.2f  util=%5.1f%%  stretch=%.2f  peak-backlog=%.2f  rejected=%d  wins %s\n",
-			pc.Index, pc.M, pc.Jobs, pc.Batches, pc.Makespan, 100*pc.Utilization, pc.MeanStretch, pc.PeakBacklog, pc.Rejected, strings.Join(wins, " "))
+		faults := ""
+		if faulted {
+			faults = fmt.Sprintf("killed=%d migrated=%d lost=%d  ", pc.Killed, pc.Migrated, pc.Lost)
+		}
+		fmt.Fprintf(out, "  cluster %d  m=%-4d jobs=%-4d batches=%-3d makespan=%8.2f  util=%5.1f%%  stretch=%.2f  peak-backlog=%.2f  rejected=%d  %swins %s\n",
+			pc.Index, pc.M, pc.Jobs, pc.Batches, pc.Makespan, 100*pc.Utilization, pc.MeanStretch, pc.PeakBacklog, pc.Rejected, faults, strings.Join(wins, " "))
 	}
 }
 
@@ -279,13 +332,20 @@ func writeJSON(path string, report *bicriteria.GridReport) error {
 	return err
 }
 
-func writeCSV(path string, report *bicriteria.GridReport) error {
+func writeCSV(path string, report *bicriteria.GridReport, faulted bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	w := csv.NewWriter(f)
-	if err := w.Write([]string{"cluster", "m", "jobs", "batches", "makespan", "utilization", "mean_stretch", "peak_backlog", "rejected"}); err != nil {
+	header := []string{"cluster", "m", "jobs", "batches", "makespan", "utilization", "mean_stretch", "peak_backlog", "rejected"}
+	if faulted {
+		// The fault metrics columns appear only on faulted runs, so the
+		// zero-fault CSV stays byte-identical to a build without the
+		// faults subsystem.
+		header = append(header, "killed", "resubmitted", "migrated", "recovered", "lost")
+	}
+	if err := w.Write(header); err != nil {
 		f.Close()
 		return err
 	}
@@ -300,6 +360,15 @@ func writeCSV(path string, report *bicriteria.GridReport) error {
 			strconv.FormatFloat(pc.MeanStretch, 'f', 6, 64),
 			strconv.FormatFloat(pc.PeakBacklog, 'f', 6, 64),
 			strconv.Itoa(pc.Rejected),
+		}
+		if faulted {
+			rec = append(rec,
+				strconv.Itoa(pc.Killed),
+				strconv.Itoa(pc.Resubmitted),
+				strconv.Itoa(pc.Migrated),
+				strconv.Itoa(pc.Recovered),
+				strconv.Itoa(pc.Lost),
+			)
 		}
 		if err := w.Write(rec); err != nil {
 			f.Close()

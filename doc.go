@@ -32,6 +32,18 @@
 // identical to an offline replay of the same submission stream. See
 // cmd/bicrit-serve and examples/serve.
 //
+// The faults layer (internal/faults, exported as the Faults* identifiers)
+// injects deterministic failures through the whole stack: a seeded
+// generator draws node crash/repair windows from a Weibull MTBF model
+// (plus correlated group failures and whole-shard outages), the simulator
+// kills jobs caught by a crash, cluster engines re-enqueue and replan them
+// (restart or checkpoint-credit), the grid router drains dark shards as
+// policy-aware migrations, and the serve layer surfaces a resubmitted job
+// state with fault counters in /metrics. An empty plan reproduces the
+// fault-free behaviour byte for byte, and faulty concurrent replays stay
+// bit-identical to sequential ones — invariants the property, golden and
+// determinism stress tests pin permanently. See examples/faults.
+//
 // The root package is a thin facade over the internal packages: it exposes
 // the task and schedule model, the DEMT scheduler, the baselines, the lower
 // bounds, the workload generators and the simulator under one import path.

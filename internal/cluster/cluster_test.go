@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"bicriteria/internal/core"
+	"bicriteria/internal/faults"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
@@ -387,5 +388,229 @@ func TestBoundedSlowdownFormula(t *testing.T) {
 		if got := BoundedSlowdown(tc.flow, tc.pmin); math.Abs(got-tc.want) > 1e-12 {
 			t.Fatalf("BoundedSlowdown(%g, %g) = %g, want %g", tc.flow, tc.pmin, got, tc.want)
 		}
+	}
+}
+
+// faultPlanWindows generates a node-crash plan for one m-processor cluster.
+func faultPlanWindows(t testing.TB, m int, seed int64, mtbf, repair, horizon float64) []faults.Window {
+	t.Helper()
+	plan, err := faults.Generate(faults.Config{
+		Seed: seed, Horizon: horizon, Clusters: []int{m}, MTBF: mtbf, RepairMean: repair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.ClusterWindows(0, m)
+}
+
+func TestFaultsEveryKilledJobEventuallyRescheduled(t *testing.T) {
+	jobs := stream(t, 16, 100, 3, 4)
+	eng, err := New(Config{
+		M:       16,
+		Perturb: noise(t, 0.2, 3),
+		Outages: faultPlanWindows(t, 16, 3, 10, 4, 400),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := rep.Metrics
+	if met.Killed == 0 {
+		t.Fatal("hostile fault plan killed nothing; the scenario is vacuous")
+	}
+	if met.Jobs+met.Lost != len(jobs) {
+		t.Fatalf("completed %d + lost %d != submitted %d", met.Jobs, met.Lost, len(jobs))
+	}
+	if met.Resubmitted != met.Killed-met.Lost {
+		t.Fatalf("resubmitted %d != killed %d - lost %d", met.Resubmitted, met.Killed, met.Lost)
+	}
+	// Every killed-but-not-lost job completed: it was rescheduled.
+	killedJobs := make(map[int]bool)
+	for _, k := range rep.Kills {
+		killedJobs[k.TaskID] = true
+	}
+	lost := make(map[int]bool)
+	for _, id := range rep.Lost {
+		lost[id] = true
+	}
+	completed := make(map[int]bool)
+	for _, a := range rep.Schedule.Assignments {
+		if completed[a.TaskID] {
+			t.Fatalf("job %d completed twice", a.TaskID)
+		}
+		completed[a.TaskID] = true
+	}
+	recovered := 0
+	for id := range killedJobs {
+		if lost[id] {
+			continue
+		}
+		if !completed[id] {
+			t.Fatalf("killed job %d was never rescheduled to completion", id)
+		}
+		recovered++
+	}
+	if met.Recovered != recovered {
+		t.Fatalf("metrics report %d recoveries, trace shows %d", met.Recovered, recovered)
+	}
+}
+
+func TestFaultsZeroPlanBitIdentical(t *testing.T) {
+	jobs := stream(t, 16, 60, 7, 3)
+	base := Config{M: 16, Perturb: noise(t, 0.15, 7)}
+	plain, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPlain, err := plain.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEmpty := base
+	withEmpty.Outages = nil
+	withEmpty.Replan = ReplanPolicy{Kind: ReplanCheckpoint, Credit: 0.5}
+	withEmpty.MaxRetries = 3
+	eng, err := New(withEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repEmpty, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repPlain, repEmpty) {
+		t.Fatal("a zero-fault configuration changed the report")
+	}
+}
+
+func TestFaultsParallelVsSequentialBitIdentical(t *testing.T) {
+	jobs := stream(t, 16, 80, 5, 4)
+	base := Config{
+		M:       16,
+		Perturb: noise(t, 0.2, 5),
+		Outages: faultPlanWindows(t, 16, 5, 12, 5, 400),
+		Replan:  ReplanPolicy{Kind: ReplanCheckpoint},
+		Reservations: []reservation.Reservation{
+			{Name: "maint", Procs: 4, Start: 10, End: 25},
+		},
+	}
+	run := func(sequential bool) *Report {
+		cfg := base
+		cfg.Sequential = sequential
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	seq := run(true)
+	par := run(false)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("faulty parallel replay differs from sequential replay")
+	}
+	if seq.Metrics.Killed == 0 {
+		t.Fatal("fault plan killed nothing; determinism check is vacuous")
+	}
+}
+
+func TestFaultsCheckpointCreditsFinishedWork(t *testing.T) {
+	// One long sequential job, killed once at t=6 of 10: the checkpoint
+	// replan resubmits 40% of the work, the restart replan all of it.
+	job := []online.Job{{Task: moldable.Task{ID: 1, Weight: 1, Times: []float64{10}}, Release: 0}}
+	outage := []faults.Window{{Procs: []int{0}, Start: 6, End: 7}}
+	run := func(replan ReplanPolicy) *Report {
+		eng, err := New(Config{M: 1, Outages: outage, Replan: replan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	restart := run(ReplanPolicy{Kind: ReplanRestart})
+	checkpoint := run(ReplanPolicy{Kind: ReplanCheckpoint})
+	half := run(ReplanPolicy{Kind: ReplanCheckpoint, Credit: 0.5})
+	// Restart: killed at 6, replanned around the repair [6,7), full 10
+	// units again -> done at 17.
+	if m := restart.Metrics.Makespan; math.Abs(m-17) > 1e-9 {
+		t.Fatalf("restart makespan %g, want 17", m)
+	}
+	// Full credit: 60% finished, 4 units remain -> done at 11.
+	if m := checkpoint.Metrics.Makespan; math.Abs(m-11) > 1e-9 {
+		t.Fatalf("checkpoint makespan %g, want 11", m)
+	}
+	// Half credit: scale 1 - 0.5*0.6 = 0.7 -> 7 units -> done at 14.
+	if m := half.Metrics.Makespan; math.Abs(m-14) > 1e-9 {
+		t.Fatalf("half-credit makespan %g, want 14", m)
+	}
+	for _, rep := range []*Report{restart, checkpoint, half} {
+		if rep.Metrics.Killed != 1 || rep.Metrics.Recovered != 1 || rep.Metrics.Lost != 0 {
+			t.Fatalf("unexpected fault counters %+v", rep.Metrics)
+		}
+	}
+}
+
+func TestFaultsMaxRetriesGivesUp(t *testing.T) {
+	// The single processor dies every 2 units forever (within the
+	// horizon), so a 10-unit restart-replanned job can never finish.
+	var wins []faults.Window
+	for t0 := 1.0; t0 < 400; t0 += 2 {
+		wins = append(wins, faults.Window{Procs: []int{0}, Start: t0, End: t0 + 0.5})
+	}
+	eng, err := New(Config{M: 1, Outages: wins, MaxRetries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run([]online.Job{{Task: moldable.Task{ID: 9, Weight: 1, Times: []float64{10}}, Release: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.Lost != 1 || rep.Metrics.Jobs != 0 {
+		t.Fatalf("job should be lost after the retry budget: %+v", rep.Metrics)
+	}
+	if rep.Metrics.Killed != 5 {
+		t.Fatalf("killed %d times, want MaxRetries+1 = 5", rep.Metrics.Killed)
+	}
+	if len(rep.Lost) != 1 || rep.Lost[0] != 9 {
+		t.Fatalf("lost list %v, want [9]", rep.Lost)
+	}
+}
+
+func TestFaultsConfigValidation(t *testing.T) {
+	if _, err := New(Config{M: 4, Outages: []faults.Window{{Procs: []int{9}, Start: 1, End: 2}}}); err == nil {
+		t.Fatal("outage outside the machine accepted")
+	}
+	if _, err := New(Config{M: 4, Outages: []faults.Window{{Procs: []int{0}, Start: 2, End: 2}}}); err == nil {
+		t.Fatal("empty outage window accepted")
+	}
+	if _, err := New(Config{M: 4, Outages: []faults.Window{{Procs: []int{0}, Start: 2, End: math.NaN()}}}); err == nil {
+		t.Fatal("NaN outage end accepted")
+	}
+	if _, err := New(Config{M: 4, Outages: []faults.Window{{Procs: []int{0}, Start: math.Inf(-1), End: 2}}}); err == nil {
+		t.Fatal("infinite outage start accepted")
+	}
+	if _, err := New(Config{M: 4, MaxRetries: -1}); err == nil {
+		t.Fatal("negative max retries accepted")
+	}
+	if _, err := New(Config{M: 4, Replan: ReplanPolicy{Kind: ReplanKind(9)}}); err == nil {
+		t.Fatal("unknown replan kind accepted")
+	}
+	if _, err := New(Config{M: 4, Replan: ReplanPolicy{Credit: 1.5}}); err == nil {
+		t.Fatal("out-of-range checkpoint credit accepted")
+	}
+	if _, err := ParseReplanKind("nope"); err == nil {
+		t.Fatal("unknown replan name accepted")
+	}
+	if k, err := ParseReplanKind("checkpoint"); err != nil || k != ReplanCheckpoint {
+		t.Fatalf("ParseReplanKind(checkpoint) = %v, %v", k, err)
 	}
 }

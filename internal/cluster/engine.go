@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"bicriteria/internal/faults"
 	"bicriteria/internal/listsched"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/online"
@@ -59,6 +60,20 @@ type Config struct {
 	// The committed schedules are identical either way; the switch exists
 	// for debugging and for the determinism tests.
 	Sequential bool
+	// Outages lists absolute-time machine down windows (node crash/repair
+	// spans, typically one cluster of a faults plan). A job running when
+	// an outage begins is killed and re-enqueued into the next batch under
+	// Replan; outages that have already begun when a batch fires are
+	// planned around like reservations (the runtime knows a node is dead
+	// *now*, never that it will die later). Empty means no faults and
+	// behaviour bit-identical to an engine without the field.
+	Outages []faults.Window
+	// Replan selects how killed jobs are resubmitted; the zero value
+	// restarts them from scratch.
+	Replan ReplanPolicy
+	// MaxRetries caps the kills one job may survive before the engine
+	// abandons it as lost; zero means DefaultMaxRetries.
+	MaxRetries int
 	// OnBatch, when non-nil, receives every batch report as soon as the
 	// batch completes: the streaming interface for long replays.
 	OnBatch func(BatchReport)
@@ -85,6 +100,9 @@ type BatchReport struct {
 	RealizedMakespan float64
 	// Delayed counts tasks of this batch that started later than planned.
 	Delayed int
+	// Killed lists the task IDs killed by outages during this batch's
+	// realized execution, sorted. They rejoin the queue (or are lost).
+	Killed []int
 	// Cumulative is the metrics snapshot after this batch.
 	Cumulative Metrics
 }
@@ -101,6 +119,12 @@ type Report struct {
 	// Blocked lists, per reservation (in input order), the concrete
 	// processors blocked for it.
 	Blocked [][]int
+	// Kills lists every kill event of the run in order: which job died
+	// when, during which batch. A job appears once per kill it suffered.
+	Kills []KillEvent
+	// Lost lists the jobs abandoned after MaxRetries kills, sorted by the
+	// time they were given up.
+	Lost []int
 }
 
 // Engine is a reusable cluster engine with a fixed configuration.
@@ -138,6 +162,23 @@ func New(cfg Config) (*Engine, error) {
 	for _, r := range cfg.Reservations {
 		if err := r.Validate(cfg.M); err != nil {
 			return nil, err
+		}
+	}
+	if err := cfg.Replan.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("cluster: negative max retries %d", cfg.MaxRetries)
+	}
+	for _, w := range cfg.Outages {
+		if math.IsNaN(w.Start) || math.IsNaN(w.End) || math.IsInf(w.Start, 0) || math.IsInf(w.End, 0) ||
+			w.Start < 0 || w.End <= w.Start {
+			return nil, fmt.Errorf("cluster: outage window [%g, %g) is invalid", w.Start, w.End)
+		}
+		for _, p := range w.Procs {
+			if p < 0 || p >= cfg.M {
+				return nil, fmt.Errorf("cluster: outage window uses processor %d outside the %d-processor machine", p, cfg.M)
+			}
 		}
 	}
 	blocked, err := assignReservationProcs(cfg.M, cfg.Reservations)
@@ -179,6 +220,10 @@ func (e *Engine) Run(jobs []online.Job) (*Report, error) {
 
 	report := &Report{Schedule: schedule.New(e.cfg.M), Blocked: e.blocked}
 	acc := newMetricsAccumulator(e.cfg.M)
+	var fstate *faultState
+	if len(e.cfg.Outages) > 0 {
+		fstate = newFaultState(e.cfg.Replan, e.cfg.MaxRetries)
+	}
 	if len(jobs) == 0 {
 		report.Metrics = acc.snapshot()
 		return report, nil
@@ -223,7 +268,7 @@ func (e *Engine) Run(jobs []online.Job) (*Report, error) {
 			// now.
 		}
 
-		br, realizedMakespan, err := e.runBatch(batchIndex, now, pending, busyAbs, infos, acc, report)
+		br, advance, resub, err := e.runBatch(batchIndex, now, pending, busyAbs, infos, acc, report, fstate)
 		if err != nil {
 			return nil, err
 		}
@@ -231,8 +276,10 @@ func (e *Engine) Run(jobs []online.Job) (*Report, error) {
 		if e.cfg.OnBatch != nil {
 			e.cfg.OnBatch(br)
 		}
-		now += realizedMakespan
-		pending = pending[:0]
+		now += advance
+		// Killed jobs rejoin the queue immediately: their release dates are
+		// their kill instants, all at or before the new now.
+		pending = append(pending[:0], resub...)
 		batchIndex++
 	}
 	report.Metrics = acc.snapshot()
@@ -240,9 +287,12 @@ func (e *Engine) Run(jobs []online.Job) (*Report, error) {
 }
 
 // runBatch schedules, places and executes one batch firing at the absolute
-// time now, committing its realized trace into the report.
+// time now, committing its realized trace into the report. It returns the
+// batch report, how far the batch advances the clock (its realized
+// makespan, or the last kill instant if an outage cut the batch short) and
+// the killed jobs to re-enqueue.
 func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs []listsched.Busy,
-	infos map[int]jobInfo, acc *metricsAccumulator, report *Report) (BatchReport, float64, error) {
+	infos map[int]jobInfo, acc *metricsAccumulator, report *Report, fstate *faultState) (BatchReport, float64, []online.Job, error) {
 	tasks := make([]moldable.Task, len(pending))
 	ids := make([]int, len(pending))
 	for i := range pending {
@@ -254,29 +304,38 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 
 	cands, scheds, win, err := runPortfolio(inst, e.cfg.Portfolio, e.cfg.Objective, e.cfg.Sequential)
 	if err != nil {
-		return BatchReport{}, 0, fmt.Errorf("cluster: batch %d: %w", index, err)
+		return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: %w", index, err)
 	}
 	planned := scheds[win]
 
 	// Re-place the winning plan around the reservation windows still open
-	// at (or after) the batch's fire time, expressed batch-relative.
-	if rel := relativeBusy(busyAbs, now); len(rel) > 0 {
+	// at (or after) the batch's fire time, expressed batch-relative — plus
+	// the outages that have already begun, because the runtime knows those
+	// nodes are down and replans around the shrunken machine. Outages that
+	// have not started yet stay invisible to the planner: they hit the
+	// simulated execution as surprises.
+	planBusy := busyAbs
+	if len(e.cfg.Outages) > 0 {
+		planBusy = append(append([]listsched.Busy(nil), busyAbs...), activeOutageBusy(e.cfg.Outages, now)...)
+	}
+	if rel := relativeBusy(planBusy, now); len(rel) > 0 {
 		placed, err := listsched.InsertionWithReservations(e.cfg.M, rel, reservation.PriorityItems(planned))
 		if err != nil {
-			return BatchReport{}, 0, fmt.Errorf("cluster: batch %d: placing around reservations: %w", index, err)
+			return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: placing around reservations: %w", index, err)
 		}
 		if err := placed.Validate(inst, nil); err != nil {
-			return BatchReport{}, 0, fmt.Errorf("cluster: batch %d: reservation placement is invalid: %w", index, err)
+			return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: reservation placement is invalid: %w", index, err)
 		}
 		planned = placed
 	}
 
 	simRes, err := sim.Execute(inst, planned, &sim.Options{
-		Perturb: e.cfg.Perturb,
-		Blocked: relativeBlocked(busyAbs, now),
+		Perturb:  e.cfg.Perturb,
+		Blocked:  relativeBlocked(busyAbs, now),
+		Failures: relativeFailures(e.cfg.Outages, now),
 	})
 	if err != nil {
-		return BatchReport{}, 0, fmt.Errorf("cluster: batch %d: %w", index, err)
+		return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: %w", index, err)
 	}
 
 	for _, tr := range simRes.Traces {
@@ -289,12 +348,52 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 		})
 		info := infos[tr.TaskID]
 		acc.observeJob(info.release, now+tr.End, info.pmin, info.weight)
+		if fstate != nil && fstate.killedEver[tr.TaskID] {
+			acc.recovered++
+		}
 	}
 	busyTime := 0.0
 	for _, b := range simRes.BusyTime {
 		busyTime += b
 	}
 	acc.observeBatch(cands[win].Name, busyTime, simRes.Delayed)
+
+	advance := simRes.Makespan
+	var resub []online.Job
+	var killedIDs []int
+	if len(simRes.Killed) > 0 {
+		// The batch's tasks by ID, as scheduled (a resubmitted job may
+		// already carry checkpoint-scaled times).
+		byID := make(map[int]moldable.Task, len(tasks))
+		for _, t := range tasks {
+			byID[t.ID] = t
+		}
+		for _, k := range simRes.Killed {
+			if k.KilledAt > advance {
+				advance = k.KilledAt
+			}
+			killedIDs = append(killedIDs, k.TaskID)
+			report.Kills = append(report.Kills, KillEvent{TaskID: k.TaskID, Batch: index, Start: now + k.Start, Time: now + k.KilledAt})
+			fstate.killedEver[k.TaskID] = true
+			fstate.retries[k.TaskID]++
+			acc.killed++
+			if fstate.retries[k.TaskID] > fstate.maxRetries {
+				acc.lost++
+				report.Lost = append(report.Lost, k.TaskID)
+				continue
+			}
+			acc.resubmitted++
+			frac := 0.0
+			if k.Duration > 0 {
+				frac = (k.KilledAt - k.Start) / k.Duration
+			}
+			resub = append(resub, online.Job{
+				Task:    fstate.replan.resubmit(byID[k.TaskID], frac),
+				Release: now + k.KilledAt,
+			})
+		}
+		sort.Ints(killedIDs)
+	}
 
 	return BatchReport{
 		Index:            index,
@@ -305,8 +404,9 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 		PlannedMakespan:  planned.Makespan(),
 		RealizedMakespan: simRes.Makespan,
 		Delayed:          simRes.Delayed,
+		Killed:           killedIDs,
 		Cumulative:       acc.snapshot(),
-	}, simRes.Makespan, nil
+	}, advance, resub, nil
 }
 
 // assignReservationProcs picks concrete processors for every reservation,
@@ -359,6 +459,34 @@ func relativeBusy(busyAbs []listsched.Busy, now float64) []listsched.Busy {
 		rel = append(rel, listsched.Busy{Procs: b.Procs, Start: start, End: b.End - now})
 	}
 	return rel
+}
+
+// activeOutageBusy returns, as planning busy windows, the outages that
+// have already begun at the batch fire time: the runtime knows those nodes
+// are down and plans the batch around the rest of their repair windows.
+func activeOutageBusy(outages []faults.Window, now float64) []listsched.Busy {
+	var busy []listsched.Busy
+	for _, w := range outages {
+		if w.Start <= now+moldable.Eps && w.End > now+moldable.Eps {
+			busy = append(busy, listsched.Busy{Procs: w.Procs, Start: w.Start, End: w.End})
+		}
+	}
+	return busy
+}
+
+// relativeFailures shifts the outage windows into batch-relative time for
+// the simulator, keeping every window that has not fully ended (an active
+// window's relative start may be negative; the simulator only cares about
+// crashes beginning inside a task's run and nodes down at dispatch).
+func relativeFailures(outages []faults.Window, now float64) []sim.FailureWindow {
+	var wins []sim.FailureWindow
+	for _, w := range outages {
+		if w.End <= now+moldable.Eps {
+			continue
+		}
+		wins = append(wins, sim.FailureWindow{Procs: w.Procs, Start: w.Start - now, End: w.End - now})
+	}
+	return wins
 }
 
 // relativeBlocked is relativeBusy converted to the simulator's window type.

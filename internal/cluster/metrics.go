@@ -64,23 +64,36 @@ type Metrics struct {
 	// Delayed counts the tasks that started later than their planned
 	// (batch-relative) start time during realized execution.
 	Delayed int
+	// Killed counts kill events (one job can die more than once),
+	// Resubmitted the re-enqueues they caused, Lost the jobs abandoned
+	// after MaxRetries kills and Recovered the jobs that completed after
+	// having been killed at least once. All four are zero on a fault-free
+	// run.
+	Killed      int `json:",omitempty"`
+	Resubmitted int `json:",omitempty"`
+	Lost        int `json:",omitempty"`
+	Recovered   int `json:",omitempty"`
 	// Wins counts, per portfolio algorithm, the batches it won.
 	Wins map[string]int
 }
 
 // metricsAccumulator is the running state behind Metrics.
 type metricsAccumulator struct {
-	m         int
-	batches   int
-	jobs      int
-	makespan  float64
-	weightedC float64
-	maxFlow   float64
-	stretches []float64
-	bslds     []float64
-	busy      float64
-	delayed   int
-	wins      map[string]int
+	m           int
+	batches     int
+	jobs        int
+	makespan    float64
+	weightedC   float64
+	maxFlow     float64
+	stretches   []float64
+	bslds       []float64
+	busy        float64
+	delayed     int
+	killed      int
+	resubmitted int
+	lost        int
+	recovered   int
+	wins        map[string]int
 }
 
 func newMetricsAccumulator(m int) *metricsAccumulator {
@@ -122,6 +135,10 @@ func (acc *metricsAccumulator) snapshot() Metrics {
 		WeightedCompletion: acc.weightedC,
 		MaxFlow:            acc.maxFlow,
 		Delayed:            acc.delayed,
+		Killed:             acc.killed,
+		Resubmitted:        acc.resubmitted,
+		Lost:               acc.lost,
+		Recovered:          acc.recovered,
 		Wins:               make(map[string]int, len(acc.wins)),
 	}
 	for k, v := range acc.wins {

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"bicriteria/internal/cluster"
+	"bicriteria/internal/faults"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
 )
@@ -61,11 +62,12 @@ type Config struct {
 	Clusters []ClusterSpec
 	// Routing picks the cluster of every job; nil means LeastBacklog().
 	Routing RoutingPolicy
-	// QueueDepth sizes each shard's dispatch channel in the concurrent
-	// path. Shards drain their queue while routing proceeds and replay
-	// once it closes (an engine needs its complete sub-stream before it
-	// can batch), so the depth shapes the router-to-shard handoff
-	// granularity, not the total buffering. Zero means DefaultQueueDepth.
+	// QueueDepth is retained for configuration compatibility and is
+	// validated but no longer shapes the replay: since routing became one
+	// shared pure pass (a requirement of shard-outage migration, which
+	// can retract an earlier decision), every shard's sub-stream is fully
+	// materialized before the engines run, so there is no router-to-shard
+	// handoff left to bound. Zero means DefaultQueueDepth.
 	QueueDepth int
 	// AdmitBacklog closes a cluster to new admissions while its estimated
 	// per-processor backlog (in time units) exceeds the limit; jobs are
@@ -77,6 +79,19 @@ type Config struct {
 	// and each engine runs its portfolio sequentially. The reports are
 	// identical either way; the switch exists for the determinism tests.
 	Sequential bool
+	// Faults injects a deterministic fault plan: node outages go to the
+	// matching shard engines (running jobs are killed and replanned),
+	// shard outages additionally close the shard at the router, kill
+	// whatever it was running and drain its queued jobs back through the
+	// routing policy as migrations. Nil or empty means no faults and
+	// bit-identical behaviour to a federation without the field.
+	Faults *faults.Plan
+	// Replan selects how shard engines resubmit killed jobs; the zero
+	// value restarts them from scratch.
+	Replan cluster.ReplanPolicy
+	// MaxRetries caps per-job kills before a shard engine abandons the job
+	// as lost; zero means cluster.DefaultMaxRetries.
+	MaxRetries int
 	// OnDecision, when non-nil, receives every routing decision in stream
 	// order as it is made.
 	OnDecision func(Decision)
@@ -119,6 +134,13 @@ func New(cfg Config) (*Federation, error) {
 	if cfg.Routing == nil {
 		cfg.Routing = LeastBacklog()
 	}
+	sizes := make([]int, len(cfg.Clusters))
+	for i, spec := range cfg.Clusters {
+		sizes[i] = spec.M
+	}
+	if err := cfg.Faults.Validate(sizes); err != nil {
+		return nil, err
+	}
 	f := &Federation{cfg: cfg, engines: make([]*cluster.Engine, len(cfg.Clusters))}
 	for i, spec := range cfg.Clusters {
 		eng, err := cluster.New(cluster.Config{
@@ -129,6 +151,9 @@ func New(cfg Config) (*Federation, error) {
 			Reservations: spec.Reservations,
 			Perturb:      spec.Perturb,
 			Sequential:   cfg.Sequential,
+			Outages:      cfg.Faults.ClusterWindows(i, spec.M),
+			Replan:       cfg.Replan,
+			MaxRetries:   cfg.MaxRetries,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("grid: cluster %d: %w", i, err)
@@ -174,17 +199,25 @@ func (f *Federation) Run(jobs []online.Job) (*Report, error) {
 	if p, ok := f.cfg.Routing.(resettable); ok {
 		p.reset()
 	}
-	rt := newRouter(f.cfg.Clusters, f.cfg.Routing, f.cfg.AdmitBacklog)
+	rt := newRouter(f.cfg.Clusters, f.cfg.Routing, f.cfg.AdmitBacklog, f.cfg.Faults)
 
-	report := &Report{
-		Policy:   f.cfg.Routing.Name(),
-		Clusters: make([]*cluster.Report, len(f.engines)),
+	// Routing is one pure sequential pass shared by both execution paths
+	// (it interleaves shard-outage drains with arrivals in time order);
+	// only the shard replays differ in concurrency.
+	decisions, routed, err := rt.routeStream(sorted, f.cfg.OnDecision)
+	if err != nil {
+		return nil, err
 	}
-	var err error
+	report := &Report{
+		Policy:    f.cfg.Routing.Name(),
+		Decisions: decisions,
+		Clusters:  make([]*cluster.Report, len(f.engines)),
+	}
+	shards := shardStreams(len(f.engines), decisions, routed)
 	if f.cfg.Sequential {
-		report.Decisions, err = f.runSequential(rt, sorted, report.Clusters)
+		err = f.runSequential(shards, report.Clusters)
 	} else {
-		report.Decisions, err = f.runConcurrent(rt, sorted, report.Clusters)
+		err = f.runConcurrent(shards, report.Clusters)
 	}
 	if err != nil {
 		return nil, err
@@ -193,50 +226,51 @@ func (f *Federation) Run(jobs []online.Job) (*Report, error) {
 	return report, nil
 }
 
-// runSequential is the goroutine-free path: route everything, then replay
-// the shards one after the other.
-func (f *Federation) runSequential(rt *router, sorted []online.Job, out []*cluster.Report) ([]Decision, error) {
-	decisions := make([]Decision, 0, len(sorted))
-	shards := make([][]online.Job, len(f.engines))
-	for _, j := range sorted {
-		d, err := rt.route(j)
-		if err != nil {
-			return nil, err
-		}
-		decisions = append(decisions, d)
-		if f.cfg.OnDecision != nil {
-			f.cfg.OnDecision(d)
-		}
-		shards[d.Cluster] = append(shards[d.Cluster], j)
+// shardStreams resolves the final sub-stream of every shard from the
+// decision list: each job's last decision wins, because an earlier routing
+// to a shard that later went dark was retracted by the migration decision
+// that drained it.
+func shardStreams(n int, decisions []Decision, routed []online.Job) [][]online.Job {
+	last := make(map[int]int, len(routed))
+	for k, d := range decisions {
+		last[d.JobID] = k
 	}
+	shards := make([][]online.Job, n)
+	for k, d := range decisions {
+		if last[d.JobID] != k {
+			continue
+		}
+		shards[d.Cluster] = append(shards[d.Cluster], routed[k])
+	}
+	return shards
+}
+
+// runSequential is the goroutine-free path: replay the shards one after
+// the other.
+func (f *Federation) runSequential(shards [][]online.Job, out []*cluster.Report) error {
 	for i, eng := range f.engines {
 		rep, err := eng.Run(shards[i])
 		if err != nil {
-			return nil, fmt.Errorf("grid: cluster %d: %w", i, err)
+			return fmt.Errorf("grid: cluster %d: %w", i, err)
 		}
 		out[i] = rep
 	}
-	return decisions, nil
+	return nil
 }
 
-// runConcurrent is the goroutine path: the router streams decisions into
-// one bounded queue per shard, every shard goroutine collects its jobs
-// concurrently, and the shard engines replay in parallel once their queues
-// close (an engine needs its complete sub-stream before it can batch).
-func (f *Federation) runConcurrent(rt *router, sorted []online.Job, out []*cluster.Report) ([]Decision, error) {
-	queues := make([]chan online.Job, len(f.engines))
+// runConcurrent is the goroutine path: one goroutine per shard replays
+// its complete sub-stream in parallel (an engine needs its whole
+// sub-stream before it can batch, and routing materialized the
+// sub-streams already, so there is nothing left to stream through
+// queues).
+func (f *Federation) runConcurrent(shards [][]online.Job, out []*cluster.Report) error {
 	errs := make([]error, len(f.engines))
 	var wg sync.WaitGroup
 	for i := range f.engines {
-		queues[i] = make(chan online.Job, f.cfg.QueueDepth)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var shard []online.Job
-			for j := range queues[i] {
-				shard = append(shard, j)
-			}
-			rep, err := f.engines[i].Run(shard)
+			rep, err := f.engines[i].Run(shards[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("grid: cluster %d: %w", i, err)
 				return
@@ -244,32 +278,11 @@ func (f *Federation) runConcurrent(rt *router, sorted []online.Job, out []*clust
 			out[i] = rep
 		}(i)
 	}
-
-	decisions := make([]Decision, 0, len(sorted))
-	var routeErr error
-	for _, j := range sorted {
-		d, err := rt.route(j)
-		if err != nil {
-			routeErr = err
-			break
-		}
-		decisions = append(decisions, d)
-		if f.cfg.OnDecision != nil {
-			f.cfg.OnDecision(d)
-		}
-		queues[d.Cluster] <- j
-	}
-	for _, q := range queues {
-		close(q)
-	}
 	wg.Wait()
-	if routeErr != nil {
-		return nil, routeErr
-	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return decisions, nil
+	return nil
 }

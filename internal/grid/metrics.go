@@ -29,6 +29,16 @@ type ClusterSummary struct {
 	// for admission (backlog over Config.AdmitBacklog) and were steered to
 	// another shard. Zero when admission control is disabled.
 	Rejected int
+	// Killed, Resubmitted, Lost and Recovered mirror the shard engine's
+	// fault counters (kill events, re-enqueues, abandoned jobs, jobs
+	// completed after a kill); Migrated counts the jobs the router drained
+	// away from this shard when it went dark. All zero on a fault-free
+	// run.
+	Killed      int `json:",omitempty"`
+	Resubmitted int `json:",omitempty"`
+	Lost        int `json:",omitempty"`
+	Recovered   int `json:",omitempty"`
+	Migrated    int `json:",omitempty"`
 	// Wins counts the shard's portfolio winners per algorithm.
 	Wins map[string]int
 }
@@ -64,6 +74,15 @@ type Metrics struct {
 	// Rejections is the total number of admission-control closures over
 	// the run: the sum of the per-shard Rejected counts.
 	Rejections int
+	// Killed, Resubmitted, Lost and Recovered aggregate the shard
+	// engines' fault counters across the grid; Migrated counts the jobs
+	// drained off dead shards and re-routed by the meta-scheduler. All
+	// zero on a fault-free run.
+	Killed      int `json:",omitempty"`
+	Resubmitted int `json:",omitempty"`
+	Lost        int `json:",omitempty"`
+	Recovered   int `json:",omitempty"`
+	Migrated    int `json:",omitempty"`
 	// PerCluster digests every shard, indexed like Config.Clusters.
 	PerCluster []ClusterSummary
 }
@@ -97,9 +116,19 @@ func aggregate(specs []ClusterSpec, jobs []online.Job, reports []*cluster.Report
 			MeanStretch: cm.MeanStretch,
 			PeakBacklog: rt.peak[i],
 			Rejected:    rt.rejected[i],
+			Killed:      cm.Killed,
+			Resubmitted: cm.Resubmitted,
+			Lost:        cm.Lost,
+			Recovered:   cm.Recovered,
+			Migrated:    rt.migrated[i],
 			Wins:        cm.Wins,
 		}
 		m.Rejections += rt.rejected[i]
+		m.Killed += cm.Killed
+		m.Resubmitted += cm.Resubmitted
+		m.Lost += cm.Lost
+		m.Recovered += cm.Recovered
+		m.Migrated += rt.migrated[i]
 		m.Jobs += cm.Jobs
 		m.WeightedCompletion += cm.WeightedCompletion
 		if cm.Makespan > m.Makespan {

@@ -2,7 +2,10 @@ package grid
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
+	"bicriteria/internal/faults"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/online"
 )
@@ -25,6 +28,11 @@ type Decision struct {
 	// before admission (the router's virtual-clock estimate, not a realized
 	// quantity).
 	Backlog float64
+	// Migrated marks a resubmission decision: the job had been routed to a
+	// shard that then went dark, and the router drained it back through
+	// the policy at the outage instant (Release is that instant). Always
+	// false on a fault-free run.
+	Migrated bool `json:"Migrated,omitempty"`
 }
 
 // router is the sequential decision core of the meta-scheduler: it walks
@@ -49,9 +57,31 @@ type router struct {
 	rejected []int
 	// candidates is reused across decisions to avoid per-job allocations.
 	candidates []ClusterView
+
+	// Shard-outage state, populated only when the fault plan has shard
+	// outages (all nil otherwise, leaving the fault-free path untouched):
+	// events is the merged outage list sorted by (Start, Cluster),
+	// eventIdx the next unprocessed one, downWins[c] cluster c's own
+	// outage windows for the admission check, inflight[c] the jobs
+	// virtually queued or running on c (candidates for draining), and
+	// migrated[c] the count of jobs drained away from c.
+	events   []faults.ShardOutage
+	eventIdx int
+	downWins [][]faults.ShardOutage
+	inflight [][]vjob
+	migrated []int
 }
 
-func newRouter(specs []ClusterSpec, policy RoutingPolicy, admitBacklog float64) *router {
+// vjob is one job in a shard's virtual queue: the router's estimate of
+// when the shard will have finished it, and the minimum work the job
+// charged to the shard's view (rolled back if the job is drained away).
+type vjob struct {
+	job  online.Job
+	end  float64
+	work float64
+}
+
+func newRouter(specs []ClusterSpec, policy RoutingPolicy, admitBacklog float64, plan *faults.Plan) *router {
 	r := &router{
 		policy:       policy,
 		admitBacklog: admitBacklog,
@@ -59,12 +89,77 @@ func newRouter(specs []ClusterSpec, policy RoutingPolicy, admitBacklog float64) 
 		ready:        make([]float64, len(specs)),
 		peak:         make([]float64, len(specs)),
 		rejected:     make([]int, len(specs)),
+		migrated:     make([]int, len(specs)),
 		candidates:   make([]ClusterView, 0, len(specs)),
 	}
 	for i, s := range specs {
 		r.views[i] = ClusterView{Index: i, M: s.M}
 	}
+	if plan != nil && len(plan.Shards) > 0 {
+		r.events = append([]faults.ShardOutage(nil), plan.Shards...)
+		sort.SliceStable(r.events, func(a, b int) bool {
+			if r.events[a].Start != r.events[b].Start {
+				return r.events[a].Start < r.events[b].Start
+			}
+			return r.events[a].Cluster < r.events[b].Cluster
+		})
+		r.downWins = make([][]faults.ShardOutage, len(specs))
+		r.inflight = make([][]vjob, len(specs))
+		for c := range specs {
+			r.downWins[c] = plan.ShardWindows(c)
+		}
+	}
 	return r
+}
+
+// downAt reports whether cluster c is inside one of its shard outage
+// windows at time t.
+func (r *router) downAt(c int, t float64) bool {
+	if r.downWins == nil {
+		return false
+	}
+	for _, w := range r.downWins[c] {
+		if t >= w.Start-eps && t < w.End-eps {
+			return true
+		}
+	}
+	return false
+}
+
+// popEventBefore processes the earliest unprocessed shard outage starting
+// at or before t: every job the shard had virtually queued or running at
+// the outage instant is drained for policy-aware resubmission (returned
+// with its release reset to the outage start) and its charge is rolled
+// back from the shard's view, and the dead shard's virtual clock is set
+// to the repair time — jobs that virtually finished before the outage are
+// gone, drained ones moved, so the shard comes back empty exactly at
+// o.End. (MaxMinTime intentionally stays: it is a high-water mark of what
+// the shard was asked to run, not a backlog quantity.) Returns false when
+// no event is due.
+func (r *router) popEventBefore(t float64) (faults.ShardOutage, []online.Job, bool) {
+	if r.eventIdx >= len(r.events) || r.events[r.eventIdx].Start > t {
+		return faults.ShardOutage{}, nil, false
+	}
+	o := r.events[r.eventIdx]
+	r.eventIdx++
+	c := o.Cluster
+	r.ready[c] = o.End
+	var drained []online.Job
+	for _, v := range r.inflight[c] {
+		if v.end > o.Start+eps {
+			j := v.job
+			j.Release = o.Start
+			drained = append(drained, j)
+			r.views[c].Jobs--
+			r.views[c].TotalMinWork -= v.work
+		}
+	}
+	if r.views[c].TotalMinWork < 0 {
+		r.views[c].TotalMinWork = 0 // float drift guard
+	}
+	r.inflight[c] = r.inflight[c][:0]
+	r.migrated[c] += len(drained)
+	return o, drained, true
 }
 
 // jobView computes the per-cluster quantities of one job. Time vectors may
@@ -111,8 +206,9 @@ func (r *router) jobView(j online.Job) JobView {
 }
 
 // route decides the cluster of one job and updates the router state. Jobs
-// must be presented in non-decreasing release order.
-func (r *router) route(j online.Job) (Decision, error) {
+// must be presented in non-decreasing release order; migrated marks a
+// resubmission drained off a dead shard.
+func (r *router) route(j online.Job, migrated bool) (Decision, error) {
 	// Drain the virtual backlog clocks down to the current time.
 	for c := range r.views {
 		backlog := r.ready[c] - j.Release
@@ -126,13 +222,28 @@ func (r *router) route(j online.Job) (Decision, error) {
 		}
 	}
 
-	// Admission control: offer only the clusters under the backlog limit,
-	// falling back to every cluster when all are saturated (jobs are never
-	// dropped, only steered).
+	// Admission control: offer only the live clusters under the backlog
+	// limit, falling back to every cluster when all are saturated (jobs
+	// are never dropped, only steered). Shards inside a shard outage
+	// window are closed like over-backlog ones.
 	r.candidates = r.candidates[:0]
-	if r.admitBacklog > 0 {
+	if r.admitBacklog > 0 || r.downWins != nil {
 		for c := range r.views {
-			if r.views[c].Backlog <= r.admitBacklog+eps {
+			if r.downAt(c, j.Release) {
+				continue
+			}
+			if r.admitBacklog > 0 && r.views[c].Backlog > r.admitBacklog+eps {
+				continue
+			}
+			r.candidates = append(r.candidates, r.views[c])
+		}
+	}
+	if len(r.candidates) == 0 && r.downWins != nil {
+		// Everything live is saturated: offer every live cluster before
+		// falling back to the whole grid — routing to a dead shard only
+		// delays the job until the repair, it is never dropped.
+		for c := range r.views {
+			if !r.downAt(c, j.Release) {
 				r.candidates = append(r.candidates, r.views[c])
 			}
 		}
@@ -168,7 +279,7 @@ func (r *router) route(j online.Job) (Decision, error) {
 		}
 	}
 
-	d := Decision{JobID: job.ID, Release: j.Release, Cluster: chosen, Backlog: r.views[chosen].Backlog}
+	d := Decision{JobID: job.ID, Release: j.Release, Cluster: chosen, Backlog: r.views[chosen].Backlog, Migrated: migrated}
 	v := &r.views[chosen]
 	v.Jobs++
 	v.TotalMinWork += job.MinWork[chosen]
@@ -176,5 +287,61 @@ func (r *router) route(j online.Job) (Decision, error) {
 		v.MaxMinTime = job.MinTime[chosen]
 	}
 	r.ready[chosen] += job.MinWork[chosen] / float64(v.M)
+	if r.inflight != nil {
+		r.inflight[chosen] = append(r.inflight[chosen], vjob{job: j, end: r.ready[chosen], work: job.MinWork[chosen]})
+	}
 	return d, nil
+}
+
+// routeStream routes the whole sorted arrival stream, interleaving shard
+// outage events in global time order: before each arrival (and once the
+// stream ends) every outage that has begun drains its shard's virtually
+// unfinished jobs back through the policy as migrations. It returns the
+// decisions in order and, aligned with them, the routed jobs (a migrated
+// job reappears with its release reset to the outage instant). Both the
+// sequential and the concurrent grid paths consume this one pure pass,
+// which is why their reports are bit-identical.
+func (r *router) routeStream(sorted []online.Job, onDecision func(Decision)) ([]Decision, []online.Job, error) {
+	decisions := make([]Decision, 0, len(sorted))
+	routed := make([]online.Job, 0, len(sorted))
+	emit := func(d Decision, j online.Job) {
+		decisions = append(decisions, d)
+		routed = append(routed, j)
+		if onDecision != nil {
+			onDecision(d)
+		}
+	}
+	handle := func(j online.Job, migrated bool) error {
+		d, err := r.route(j, migrated)
+		if err != nil {
+			return err
+		}
+		emit(d, j)
+		return nil
+	}
+	drainDue := func(t float64) error {
+		for {
+			_, drained, ok := r.popEventBefore(t)
+			if !ok {
+				return nil
+			}
+			for _, dj := range drained {
+				if err := handle(dj, true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, j := range sorted {
+		if err := drainDue(j.Release); err != nil {
+			return nil, nil, err
+		}
+		if err := handle(j, false); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := drainDue(math.Inf(1)); err != nil {
+		return nil, nil, err
+	}
+	return decisions, routed, nil
 }

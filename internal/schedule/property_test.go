@@ -1,0 +1,154 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"bicriteria/internal/moldable"
+)
+
+// randomPacked builds a random feasible schedule with a greedy earliest-
+// fit packer (its own tiny list scheduler, so this test does not depend on
+// the packages under test elsewhere), together with the instance it
+// schedules.
+func randomPacked(r *rand.Rand) (*moldable.Instance, *Schedule) {
+	m := 2 + r.Intn(10)
+	n := 1 + r.Intn(15)
+	tasks := make([]moldable.Task, n)
+	s := New(m)
+	freeAt := make([]float64, m)
+	for i := range tasks {
+		k := 1 + r.Intn(m)
+		d := 0.5 + 5*r.Float64()
+		times := make([]float64, k)
+		for j := range times {
+			// Same duration for every allocation keeps the duration check
+			// trivially consistent whatever k the packer picks.
+			times[j] = d
+		}
+		tasks[i] = moldable.Task{ID: i, Weight: 1, Times: times}
+		// Earliest-fit: the k processors that free up soonest.
+		order := make([]int, m)
+		for p := range order {
+			order[p] = p
+		}
+		for a := 0; a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				if freeAt[order[b]] < freeAt[order[a]] {
+					order[a], order[b] = order[b], order[a]
+				}
+			}
+		}
+		procs := append([]int(nil), order[:k]...)
+		start := 0.0
+		for _, p := range procs {
+			if freeAt[p] > start {
+				start = freeAt[p]
+			}
+		}
+		for _, p := range procs {
+			freeAt[p] = start + d
+		}
+		s.Add(Assignment{TaskID: i, Start: start, NProcs: k, Procs: procs, Duration: d})
+	}
+	return moldable.NewInstance(m, tasks), s
+}
+
+// TestPropertyPackedSchedulesValidate: every schedule produced by a
+// correct packer passes validation — the accept side of the oracle.
+func TestPropertyPackedSchedulesValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 80; trial++ {
+		inst, s := randomPacked(r)
+		if err := s.Validate(inst, nil); err != nil {
+			t.Fatalf("trial %d: feasible schedule rejected: %v", trial, err)
+		}
+	}
+}
+
+// TestPropertyValidateRejectsInjectedViolations mutates feasible random
+// schedules into each class of infeasibility and checks the validator
+// catches every one — the reject side of the oracle that the capacity
+// and exclusivity invariants of the whole library lean on.
+func TestPropertyValidateRejectsInjectedViolations(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(r *rand.Rand, s *Schedule) bool // false: not applicable
+	}{
+		{"double-schedule", func(r *rand.Rand, s *Schedule) bool {
+			a := s.Assignments[r.Intn(len(s.Assignments))]
+			a.Procs = append([]int(nil), a.Procs...)
+			s.Add(a)
+			return true
+		}},
+		{"processor-overlap", func(r *rand.Rand, s *Schedule) bool {
+			if len(s.Assignments) < 2 {
+				return false
+			}
+			// Move one task onto the exact window and first processor of
+			// another.
+			src := &s.Assignments[0]
+			dst := &s.Assignments[1]
+			dst.Start = src.Start
+			dst.Procs[0] = src.Procs[0]
+			return true
+		}},
+		{"negative-start", func(r *rand.Rand, s *Schedule) bool {
+			s.Assignments[r.Intn(len(s.Assignments))].Start = -1
+			return true
+		}},
+		{"wrong-duration", func(r *rand.Rand, s *Schedule) bool {
+			s.Assignments[r.Intn(len(s.Assignments))].Duration *= 2
+			return true
+		}},
+		{"proc-out-of-range", func(r *rand.Rand, s *Schedule) bool {
+			a := &s.Assignments[r.Intn(len(s.Assignments))]
+			a.Procs[0] = s.M
+			return true
+		}},
+		{"overallocated", func(r *rand.Rand, s *Schedule) bool {
+			a := &s.Assignments[r.Intn(len(s.Assignments))]
+			a.NProcs = s.M + 1
+			return true
+		}},
+	}
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		for _, m := range mutations {
+			inst, s := randomPacked(r)
+			if !m.mut(r, s) {
+				continue
+			}
+			if err := s.Validate(inst, nil); err == nil {
+				t.Fatalf("trial %d: mutation %q produced an invalid schedule the validator accepted", trial, m.name)
+			}
+		}
+	}
+}
+
+// TestPropertyCapacitySweepCatchesOverload drops the explicit processor
+// lists and overbooks the machine through NProcs alone: the event-sweep
+// capacity check must still reject it.
+func TestPropertyCapacitySweepCatchesOverload(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + r.Intn(8)
+		// Two tasks that together need m+1 processors at the same instant.
+		k1 := 1 + r.Intn(m)
+		k2 := m + 1 - k1
+		mk := func(id, k int) moldable.Task {
+			times := make([]float64, k)
+			for j := range times {
+				times[j] = 2
+			}
+			return moldable.Task{ID: id, Weight: 1, Times: times}
+		}
+		inst := moldable.NewInstance(m, []moldable.Task{mk(0, k1), mk(1, k2)})
+		s := New(m)
+		s.Add(Assignment{TaskID: 0, Start: 0, NProcs: k1, Duration: 2})
+		s.Add(Assignment{TaskID: 1, Start: 1, NProcs: k2, Duration: 2})
+		if err := s.Validate(inst, nil); err == nil {
+			t.Fatalf("trial %d: %d+%d processors on an m=%d machine accepted", trial, k1, k2, m)
+		}
+	}
+}

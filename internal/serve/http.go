@@ -69,6 +69,26 @@ type MetricsResponse struct {
 	// (start minus release, floored at the histogram's lower bound).
 	StretchHistogram stats.HistogramSnapshot `json:"stretch_histogram"`
 	WaitHistogram    stats.HistogramSnapshot `json:"wait_histogram"`
+	// Faults summarizes the fault-injection status when the service runs
+	// under a fault plan: the plan's size and the recovery counters of the
+	// latest replay. Absent on a fault-free service, keeping its /metrics
+	// body byte-identical to one without the subsystem.
+	Faults *FaultsStatus `json:"faults,omitempty"`
+}
+
+// FaultsStatus is the fault block of GET /metrics.
+type FaultsStatus struct {
+	// PlanNodeOutages and PlanShardOutages count the windows of the
+	// injected plan.
+	PlanNodeOutages  int `json:"plan_node_outages"`
+	PlanShardOutages int `json:"plan_shard_outages"`
+	// Killed, Resubmitted, Lost, Recovered and Migrated are the grid-wide
+	// recovery counters of the latest stream replay (see grid.Metrics).
+	Killed      int `json:"killed"`
+	Resubmitted int `json:"resubmitted"`
+	Lost        int `json:"lost"`
+	Recovered   int `json:"recovered"`
+	Migrated    int `json:"migrated"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -251,6 +271,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp.Grid = s.live
 	resp.GridVirtualTime = s.liveAt
 	s.liveMu.RUnlock()
+	if plan := s.cfg.Grid.Faults; !plan.Empty() {
+		fs := &FaultsStatus{PlanNodeOutages: len(plan.Nodes), PlanShardOutages: len(plan.Shards)}
+		if resp.Grid != nil {
+			fs.Killed = resp.Grid.Killed
+			fs.Resubmitted = resp.Grid.Resubmitted
+			fs.Lost = resp.Grid.Lost
+			fs.Recovered = resp.Grid.Recovered
+			fs.Migrated = resp.Grid.Migrated
+		}
+		resp.Faults = fs
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

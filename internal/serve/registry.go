@@ -9,10 +9,13 @@ import (
 )
 
 // JobState is the lifecycle position of a submitted job. States only move
-// forward: queued → batched → scheduled → running → done. The serve layer
-// derives them from prefix replays of the accumulated stream (see
-// Server.refresh), so every non-final state a client observes is exactly
-// what the deterministic replay of the stream so far implies.
+// forward: queued → batched → scheduled → running → (resubmitted →) done.
+// The serve layer derives them from prefix replays of the accumulated
+// stream (see Server.refresh), so every non-final state a client observes
+// is exactly what the deterministic replay of the stream so far implies.
+// A job killed by a fault-plan outage shows resubmitted — once killed, the
+// visible state stays resubmitted through the retry's own batching and
+// execution, until the retry completes.
 type JobState int
 
 const (
@@ -24,6 +27,9 @@ const (
 	StateScheduled
 	// StateRunning: started, not yet completed, at the current virtual time.
 	StateRunning
+	// StateResubmitted: killed by an outage and re-enqueued; stays until
+	// the retry completes.
+	StateResubmitted
 	// StateDone: completed; stretch and bounded slowdown are final.
 	StateDone
 )
@@ -39,6 +45,8 @@ func (s JobState) String() string {
 		return "scheduled"
 	case StateRunning:
 		return "running"
+	case StateResubmitted:
+		return "resubmitted"
 	case StateDone:
 		return "done"
 	default:
@@ -90,6 +98,9 @@ type JobStatus struct {
 	Wait            float64 `json:"wait,omitempty"`
 	Stretch         float64 `json:"stretch,omitempty"`
 	BoundedSlowdown float64 `json:"bounded_slowdown,omitempty"`
+	// Resubmissions counts how many times the job was killed by an outage
+	// and re-enqueued (zero on a fault-free service).
+	Resubmissions int `json:"resubmissions,omitempty"`
 }
 
 // registry tracks every admitted job's status under one lock. States only
@@ -203,6 +214,21 @@ func (r *registry) markRunning(id int, start, end float64) {
 		j.Start, j.End = start, end
 		j.Wait = start - j.Release
 		r.upgrade(j, StateRunning)
+	}
+}
+
+// markResubmitted records that the replay's trusted prefix saw the job
+// killed and re-enqueued count times. The count only ever grows (prefix
+// replays are monotone), and the state upgrade keeps the job visible as
+// resubmitted until its retry completes.
+func (r *registry) markResubmitted(id, count int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[id]; ok {
+		if count > j.Resubmissions {
+			j.Resubmissions = count
+		}
+		r.upgrade(j, StateResubmitted)
 	}
 }
 

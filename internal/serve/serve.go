@@ -522,6 +522,21 @@ func (s *Server) apply(rep *grid.Report, vnow float64, final bool) {
 				s.reg.markScheduled(a.TaskID, a.Start, end)
 			}
 		}
+		// Kills are final once realized inside the trusted prefix: the
+		// batch they interrupted fired before vnow (kills happen after
+		// their batch fires), and a batch's kills are a deterministic
+		// function of the batch and the fault plan.
+		if len(crep.Kills) > 0 {
+			counts := make(map[int]int)
+			for _, k := range crep.Kills {
+				if final || k.Time < vnow-eps {
+					counts[k.TaskID]++
+				}
+			}
+			for id, n := range counts {
+				s.reg.markResubmitted(id, n)
+			}
+		}
 	}
 }
 

@@ -31,12 +31,43 @@ type Options struct {
 	// past the window, exactly as the runtime system of the paper's
 	// deployment would hold a job for an advance reservation.
 	Blocked []BlockedWindow
+	// Failures lists machine down windows the planner did NOT know about:
+	// node crashes. Unlike Blocked windows, which delay tasks out of the
+	// way, a failure beginning while a task is running kills the task at
+	// the failure instant — it appears in Result.Killed instead of
+	// completing, and its partial work still counts as busy time (the
+	// cycles were spent). A task dispatched while one of its processors is
+	// already down is delayed past the repair, like a real runtime system
+	// that cannot place work on a dead node. Note the gang-dispatch
+	// consequence: a wide task waits for an instant when every one of its
+	// processors is up at once, so under very dense failures a
+	// whole-machine task can starve (delayed past the last repair) rather
+	// than start and be killed.
+	Failures []FailureWindow
 }
 
 // BlockedWindow makes a set of processors unavailable during [Start, End).
 type BlockedWindow struct {
 	Procs      []int
 	Start, End float64
+}
+
+// FailureWindow is a set of processors crashed during [Start, End): down
+// from Start, repaired and usable again at End.
+type FailureWindow struct {
+	Procs      []int
+	Start, End float64
+}
+
+// KilledTask records one task killed by a failure: it started at Start and
+// died at KilledAt, before completing the realized Duration it would have
+// run (so (KilledAt-Start)/Duration is the fraction of work finished).
+type KilledTask struct {
+	TaskID   int
+	Start    float64
+	KilledAt float64
+	Duration float64
+	Procs    []int
 }
 
 // TaskTrace records the realized execution of one task.
@@ -58,10 +89,15 @@ type Result struct {
 	WeightedCompletion float64
 	// SumCompletion is the realized sum of completion times.
 	SumCompletion float64
-	// BusyTime is, per processor, the total time spent executing tasks.
+	// BusyTime is, per processor, the total time spent executing tasks,
+	// including the partial (wasted) work of killed tasks.
 	BusyTime []float64
 	// Delayed is the number of tasks that started later than planned.
 	Delayed int
+	// Killed lists the tasks killed by failure windows, in dispatch order.
+	// Killed tasks do not appear in Traces and contribute nothing to the
+	// completion metrics; the caller decides how to reschedule them.
+	Killed []KilledTask
 }
 
 // Execute runs the schedule on a simulated cluster.
@@ -100,6 +136,10 @@ func Execute(inst *moldable.Instance, sched *schedule.Schedule, opts *Options) (
 	if err != nil {
 		return nil, err
 	}
+	failures, err := failuresByProc(opts.Failures, inst.M)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{BusyTime: make([]float64, inst.M)}
 	freeAt := make([]float64, inst.M)
@@ -122,7 +162,22 @@ func Execute(inst *moldable.Instance, sched *schedule.Schedule, opts *Options) (
 			}
 		}
 		busyUntil := start
-		start = delayPastBlocked(blocked, a.Procs, start, duration)
+		// Blocked windows are known in advance (the whole planned span must
+		// clear them); failures only reveal themselves at dispatch (a dead
+		// node cannot accept work, but a future crash is invisible).
+		// Pushing past one kind can land inside the other, so alternate to
+		// a fixpoint.
+		for changed := true; changed; {
+			changed = false
+			if s := delayPastBlocked(blocked, a.Procs, start, duration); s > start {
+				start = s
+				changed = true
+			}
+			if s := delayPastDown(failures, a.Procs, start); s > start {
+				start = s
+				changed = true
+			}
+		}
 		delayed := start > a.Start+moldable.Eps
 		if delayed && opts.Strict {
 			if start > busyUntil {
@@ -131,6 +186,25 @@ func Execute(inst *moldable.Instance, sched *schedule.Schedule, opts *Options) (
 			return nil, fmt.Errorf("sim: task %d cannot start at its planned time %g (processors busy until %g)", a.TaskID, a.Start, start)
 		}
 		end := start + duration
+		if killAt, killed := firstFailureDuring(failures, a.Procs, start, end); killed {
+			// The crash kills the task mid-run: the partial work is spent
+			// (busy time), nothing completes, and the caller reschedules.
+			for _, p := range a.Procs {
+				freeAt[p] = killAt
+				res.BusyTime[p] += killAt - start
+			}
+			if delayed {
+				res.Delayed++
+			}
+			res.Killed = append(res.Killed, KilledTask{
+				TaskID:   a.TaskID,
+				Start:    start,
+				KilledAt: killAt,
+				Duration: duration,
+				Procs:    append([]int(nil), a.Procs...),
+			})
+			continue
+		}
 		for _, p := range a.Procs {
 			freeAt[p] = end
 			res.BusyTime[p] += duration
@@ -198,6 +272,73 @@ func delayPastBlocked(blocked map[int][]BlockedWindow, procs []int, start, durat
 		}
 	}
 	return start
+}
+
+// failuresByProc indexes the failure windows by processor, sorted by start.
+func failuresByProc(windows []FailureWindow, m int) (map[int][]FailureWindow, error) {
+	if len(windows) == 0 {
+		return nil, nil
+	}
+	perProc := make(map[int][]FailureWindow)
+	for _, w := range windows {
+		if w.End <= w.Start {
+			return nil, fmt.Errorf("sim: failure window has empty or negative span [%g, %g)", w.Start, w.End)
+		}
+		for _, p := range w.Procs {
+			if p < 0 || p >= m {
+				return nil, fmt.Errorf("sim: failure window uses processor %d outside the machine", p)
+			}
+			perProc[p] = append(perProc[p], w)
+		}
+	}
+	for p := range perProc {
+		sort.SliceStable(perProc[p], func(a, b int) bool { return perProc[p][a].Start < perProc[p][b].Start })
+	}
+	return perProc, nil
+}
+
+// delayPastDown pushes the start time past every failure window that is
+// active at the start instant on one of the task's processors: the runtime
+// cannot dispatch onto a dead node, but it does not know about crashes
+// that have not happened yet. Pushing past one window can land inside
+// another, so the sweep repeats until stable.
+func delayPastDown(failures map[int][]FailureWindow, procs []int, start float64) float64 {
+	if len(failures) == 0 {
+		return start
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range procs {
+			for _, w := range failures[p] {
+				if start >= w.Start-moldable.Eps && start < w.End-moldable.Eps {
+					start = w.End
+					changed = true
+				}
+			}
+		}
+	}
+	return start
+}
+
+// firstFailureDuring returns the earliest failure that begins strictly
+// inside the task's execution (start, end) on one of its processors — the
+// instant the task dies — or false when the task runs to completion.
+func firstFailureDuring(failures map[int][]FailureWindow, procs []int, start, end float64) (float64, bool) {
+	if len(failures) == 0 {
+		return 0, false
+	}
+	earliest := math.Inf(1)
+	for _, p := range procs {
+		for _, w := range failures[p] {
+			if w.Start > start+moldable.Eps && w.Start < end-moldable.Eps && w.Start < earliest {
+				earliest = w.Start
+			}
+		}
+	}
+	if math.IsInf(earliest, 1) {
+		return 0, false
+	}
+	return earliest, true
 }
 
 // Utilization returns the average fraction of the machine kept busy until

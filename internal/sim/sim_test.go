@@ -211,3 +211,103 @@ func TestExecuteDelaysPastBlockedWindows(t *testing.T) {
 		t.Fatalf("empty blocked window must fail")
 	}
 }
+
+func TestExecuteFailureKillsRunningTask(t *testing.T) {
+	inst := testInstance()
+	s := plannedSchedule()
+	// Processor 1 crashes at t=2, while task 0 (procs 0,1 for [0,5)) runs.
+	res, err := Execute(inst, s, &Options{
+		Failures: []FailureWindow{{Procs: []int{1}, Start: 2, End: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Killed) != 1 {
+		t.Fatalf("want 1 killed task, got %d", len(res.Killed))
+	}
+	k := res.Killed[0]
+	if k.TaskID != 0 || k.Start != 0 || k.KilledAt != 2 || k.Duration != 5 {
+		t.Fatalf("unexpected kill record %+v", k)
+	}
+	// The killed task completes nothing: no trace, no completion metrics.
+	for _, tr := range res.Traces {
+		if tr.TaskID == 0 {
+			t.Fatal("killed task has a completion trace")
+		}
+	}
+	// Its partial work still counts as busy (cycles were spent): 2 wasted
+	// units on proc 0 plus task 2's 2 units, against task 2's bare 2 units
+	// on proc 3.
+	if res.BusyTime[0] != 4 || res.BusyTime[3] != 2 {
+		t.Fatalf("wasted work not accounted: busy[0] = %g (want 4), busy[3] = %g (want 2)", res.BusyTime[0], res.BusyTime[3])
+	}
+	// Task 2 was planned at t=5 on all four procs; procs 0/1 freed at the
+	// kill instant and the crash is repaired by then, so it still starts on
+	// time.
+	for _, tr := range res.Traces {
+		if tr.TaskID == 2 && tr.Start != 5 {
+			t.Fatalf("task 2 starts at %g, want 5", tr.Start)
+		}
+	}
+}
+
+func TestExecuteFailureDelaysDispatchOnDeadNode(t *testing.T) {
+	inst := moldable.NewInstance(1, []moldable.Task{{ID: 7, Weight: 1, Times: []float64{2}}})
+	s := schedule.New(1)
+	s.Add(schedule.Assignment{TaskID: 7, Start: 1, NProcs: 1, Procs: []int{0}, Duration: 2})
+	// The node is already down when the task should be dispatched: the
+	// runtime holds it until the repair instead of killing it.
+	res, err := Execute(inst, s, &Options{
+		Failures: []FailureWindow{{Procs: []int{0}, Start: 0.5, End: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Killed) != 0 {
+		t.Fatal("task dispatched onto a known-dead node should be delayed, not killed")
+	}
+	if len(res.Traces) != 1 || res.Traces[0].Start != 4 || !res.Traces[0].Delayed {
+		t.Fatalf("unexpected trace %+v", res.Traces)
+	}
+}
+
+func TestExecuteFailureChainsAcrossWindows(t *testing.T) {
+	inst := moldable.NewInstance(1, []moldable.Task{{ID: 1, Weight: 1, Times: []float64{3}}})
+	s := schedule.New(1)
+	s.Add(schedule.Assignment{TaskID: 1, Start: 0, NProcs: 1, Procs: []int{0}, Duration: 3})
+	// Killed at 1; the caller would resubmit. Within one Execute the task
+	// dies once and is simply gone: a second window later must not matter.
+	res, err := Execute(inst, s, &Options{
+		Failures: []FailureWindow{
+			{Procs: []int{0}, Start: 1, End: 2},
+			{Procs: []int{0}, Start: 2.5, End: 2.6},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Killed) != 1 || res.Killed[0].KilledAt != 1 {
+		t.Fatalf("want one kill at the earliest failure, got %+v", res.Killed)
+	}
+	if len(res.Traces) != 0 {
+		t.Fatal("killed task completed")
+	}
+	if res.Makespan != 0 {
+		t.Fatalf("makespan %g should only count completions", res.Makespan)
+	}
+}
+
+func TestExecuteFailureValidation(t *testing.T) {
+	inst := testInstance()
+	s := plannedSchedule()
+	if _, err := Execute(inst, s, &Options{
+		Failures: []FailureWindow{{Procs: []int{0}, Start: 3, End: 3}},
+	}); err == nil {
+		t.Fatal("empty failure window accepted")
+	}
+	if _, err := Execute(inst, s, &Options{
+		Failures: []FailureWindow{{Procs: []int{99}, Start: 1, End: 2}},
+	}); err == nil {
+		t.Fatal("failure window outside the machine accepted")
+	}
+}

@@ -69,8 +69,15 @@ func nearestRank(sorted []float64, p float64) float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0, 100]) of the sample
-// using the nearest-rank definition. The input is not modified. An empty
-// sample yields 0; p outside [0, 100] is clamped.
+// using the nearest-rank definition. The input is not modified.
+//
+// Edge cases are part of the contract, not accidents of the
+// implementation: an empty sample yields 0 (there is no meaningful
+// percentile, and callers aggregate-and-print without checking); a
+// single-element sample yields that element for every p; p at or below 0
+// yields the minimum, p at or above 100 the maximum (clamping, never an
+// error). NaN inputs are not handled — callers must filter them, as every
+// producer in this library already guarantees NaN-free samples.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
@@ -90,7 +97,11 @@ type Tail struct {
 
 // TailSummary computes the mean and the nearest-rank p50/p95/p99 of the
 // sample with a single copy and sort (cheaper than three Percentile
-// calls). An empty sample yields a zero Tail; the input is not modified.
+// calls). The input is not modified.
+//
+// Edge cases follow Percentile's contract: an empty sample yields the
+// zero Tail (all fields 0), and a single-element sample yields that
+// element as the mean and every percentile.
 func TailSummary(values []float64) Tail {
 	if len(values) == 0 {
 		return Tail{}

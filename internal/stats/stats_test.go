@@ -167,3 +167,68 @@ func TestTailSummary(t *testing.T) {
 		t.Fatalf("TailOfSorted(nil) = %+v, want zero", s)
 	}
 }
+
+// TestPercentileEdgeCases pins the documented contract on degenerate
+// inputs: empty samples, single elements and out-of-range p values.
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		p      float64
+		want   float64
+	}{
+		{"empty p50", nil, 50, 0},
+		{"empty p0", []float64{}, 0, 0},
+		{"empty p200", []float64{}, 200, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"single clamped low", []float64{7}, -10, 7},
+		{"single clamped high", []float64{7}, 400, 7},
+		{"pair p50", []float64{1, 9}, 50, 1},
+		{"pair p51", []float64{1, 9}, 51, 9},
+		{"clamp low is min", []float64{3, 1, 2}, -5, 1},
+		{"clamp high is max", []float64{3, 1, 2}, 150, 3},
+		{"tiny p is min", []float64{3, 1, 2}, 1e-12, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.values, tc.p); got != tc.want {
+				t.Fatalf("Percentile(%v, %g) = %g, want %g", tc.values, tc.p, got, tc.want)
+			}
+		})
+	}
+	// The input must never be reordered.
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Percentile reordered its input: %v", in)
+	}
+}
+
+// TestTailSummaryEdgeCases pins the zero-Tail and single-sample contract.
+func TestTailSummaryEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		want   Tail
+	}{
+		{"empty", nil, Tail{}},
+		{"empty slice", []float64{}, Tail{}},
+		{"single", []float64{4.5}, Tail{Mean: 4.5, P50: 4.5, P95: 4.5, P99: 4.5}},
+		{"pair", []float64{2, 4}, Tail{Mean: 3, P50: 2, P95: 4, P99: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := TailSummary(tc.values); got != tc.want {
+				t.Fatalf("TailSummary(%v) = %+v, want %+v", tc.values, got, tc.want)
+			}
+		})
+	}
+	if got := TailOfSorted(nil); got != (Tail{}) {
+		t.Fatalf("TailOfSorted(nil) = %+v, want zero", got)
+	}
+	if got := TailOfSorted([]float64{8}); got != (Tail{Mean: 8, P50: 8, P95: 8, P99: 8}) {
+		t.Fatalf("TailOfSorted single = %+v", got)
+	}
+}

@@ -151,6 +151,14 @@ func (c ArrivalConfig) Validate() error {
 	return nil
 }
 
+// NewSampler returns a deterministic mean-1 sampler for the distribution,
+// or nil for DistDefault: the law behind the arrival and runtime-tail
+// streams, exported so other subsystems (the fault-event generator) can
+// draw from exactly the same families. Scale the samples to choose a mean.
+func NewSampler(dist Distribution, shape float64) func(r *rand.Rand) float64 {
+	return sampler(dist, shape)
+}
+
 // sampler returns a deterministic mean-1 sampler for the distribution, or
 // nil when the law is DistDefault and defaults to nothing (runtime case
 // handles nil as "no scaling").
