@@ -1,0 +1,53 @@
+package bicriteria_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// updateAPI regenerates the public-API golden:
+//
+//	go test -run TestPublicAPIGolden -update-api .
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api.golden with the current go doc output")
+
+// TestPublicAPIGolden pins the facade's public surface: the `go doc
+// bicriteria` listing (package comment plus every exported declaration)
+// is diffed against testdata/api.golden, so an accidental rename,
+// removal or signature change of a facade identifier fails CI instead of
+// slipping into a release. Intentional API changes regenerate the golden
+// with -update-api.
+func TestPublicAPIGolden(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cmd := exec.Command(goBin, "doc", ".")
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go doc failed: %v\n%s", err, out)
+	}
+	path := filepath.Join("testdata", "api.golden")
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing API golden (regenerate with: go test -run TestPublicAPIGolden -update-api .): %v", err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("the public API drifted from testdata/api.golden\n"+
+			"if the change is intentional, regenerate with: go test -run TestPublicAPIGolden -update-api .\n"+
+			"--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}

@@ -1,6 +1,7 @@
 package bicriteria
 
 import (
+	"context"
 	"io"
 
 	"bicriteria/internal/baselines"
@@ -14,12 +15,167 @@ import (
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
+	"bicriteria/internal/scenario"
 	"bicriteria/internal/schedule"
 	"bicriteria/internal/serve"
 	"bicriteria/internal/sim"
 	"bicriteria/internal/trace"
 	"bicriteria/internal/workload"
 )
+
+// ---------------------------------------------------------------------------
+// Scenario API v2: one composable spec that drives every layer
+// ---------------------------------------------------------------------------
+
+// Scenario is the versioned declarative spec of one experiment: workload
+// and arrival process, topology (single cluster or sharded grid), batch
+// and routing policies, objectives, fault injection, replanning and
+// service pacing — one value that compiles to whichever engine the
+// topology needs. Build it as a literal, through NewScenario's functional
+// options, or load it from JSON (LoadScenario). See internal/scenario.
+type Scenario = scenario.Scenario
+
+// ScenarioOption mutates a scenario under construction; see NewScenario
+// and the With* constructors in internal/scenario (re-exported below as
+// Scenario method-style helpers is unnecessary: the spec's fields are
+// public and stable).
+type ScenarioOption = scenario.Option
+
+// ScenarioTopology selects the engine a scenario compiles to.
+type ScenarioTopology = scenario.Topology
+
+// Scenario topologies.
+const (
+	TopologySingle = scenario.TopologySingle
+	TopologyGrid   = scenario.TopologyGrid
+)
+
+// Spec sections of a Scenario.
+type (
+	ScenarioCluster     = scenario.Cluster
+	ScenarioReservation = scenario.Reservation
+	ScenarioWorkload    = scenario.Workload
+	ScenarioArrivals    = scenario.Arrivals
+	ScenarioBatch       = scenario.Batch
+	ScenarioObjective   = scenario.Objective
+	ScenarioRouting     = scenario.Routing
+	ScenarioFaults      = scenario.Faults
+	ScenarioService     = scenario.Service
+)
+
+// ValidationError is the unified configuration error of the library: it
+// names the exact field path that is wrong ("clusters[2].machines",
+// "arrivals.rate"). The eager checks of NewClusterEngine, NewGrid and
+// NewServeServer raise it too, so bad configs fail before any goroutine
+// spawns, with the same error shape at every layer.
+type ValidationError = scenario.ValidationError
+
+// NewScenario builds a scenario from functional options and validates it
+// eagerly. The option constructors live in internal/scenario (WithSeed,
+// WithClusters, WithWorkload, ...) and are re-exported here:
+var (
+	ScenarioWithName        = scenario.WithName
+	ScenarioWithSeed        = scenario.WithSeed
+	ScenarioWithTopology    = scenario.WithTopology
+	ScenarioWithClusters    = scenario.WithClusters
+	ScenarioWithReservation = scenario.WithReservation
+	ScenarioWithWorkload    = scenario.WithWorkload
+	ScenarioWithArrivals    = scenario.WithArrivals
+	ScenarioWithArrivalLaws = scenario.WithArrivalLaws
+	ScenarioWithArrivalFile = scenario.WithArrivalFile
+	ScenarioWithTraceFile   = scenario.WithTraceFile
+	ScenarioWithBatchPolicy = scenario.WithBatchPolicy
+	ScenarioWithObjective   = scenario.WithObjective
+	ScenarioWithRouting     = scenario.WithRouting
+	ScenarioWithNoise       = scenario.WithNoise
+	ScenarioWithSequential  = scenario.WithSequential
+	ScenarioWithFaults      = scenario.WithFaults
+	ScenarioWithService     = scenario.WithService
+)
+
+// NewScenario builds and validates a scenario from functional options.
+func NewScenario(opts ...ScenarioOption) (Scenario, error) { return scenario.New(opts...) }
+
+// ScenarioRunner is a compiled scenario, ready to replay: Run(ctx)
+// drives the right engine with cancellation, Observe streams events.
+type ScenarioRunner = scenario.Runner
+
+// ScenarioObserver streams a run's events (batches, routing decisions,
+// kills, migrations) as they happen.
+type ScenarioObserver = scenario.Observer
+
+// ScenarioReport is the unified outcome of a scenario run: a superset of
+// the cluster and grid reports.
+type ScenarioReport = scenario.Report
+
+// ScenarioInfo describes what a scenario compiled to (resolved policy
+// names, stream size, fault plan): what the report renderers consume.
+type ScenarioInfo = scenario.Info
+
+// Compile validates the scenario eagerly and returns the runner of its
+// topology. Every configuration error is a *ValidationError naming the
+// offending field path.
+func Compile(s Scenario) (ScenarioRunner, error) { return scenario.Compile(s) }
+
+// ScenarioServeConfig compiles a scenario into a live-service
+// configuration (grid section plus the optional service pacing section).
+func ScenarioServeConfig(s Scenario) (ServeConfig, error) { return scenario.ServeConfig(s) }
+
+// WriteScenario serializes a scenario as versioned JSON.
+func WriteScenario(w io.Writer, s Scenario) error { return scenario.WriteScenario(w, s) }
+
+// ReadScenario parses and validates a scenario; unknown versions and
+// unknown fields are rejected.
+func ReadScenario(r io.Reader) (Scenario, error) { return scenario.ReadScenario(r) }
+
+// SaveScenario writes a scenario to a file path.
+func SaveScenario(path string, s Scenario) error { return scenario.SaveScenario(path, s) }
+
+// LoadScenario reads a scenario from a file path.
+func LoadScenario(path string) (Scenario, error) { return scenario.LoadScenario(path) }
+
+// ScenarioFaultSeed derives the fault-plan sub-seed of a master seed:
+// seed ^ ScenarioFaultSeedSalt, the documented derivation the scenario
+// compiler (and cmd/bicrit-gen) uses when no explicit fault seed is set.
+func ScenarioFaultSeed(seed int64) int64 { return seed ^ scenario.FaultSeedSalt }
+
+// ScenarioFaultSeedSalt is the fault sub-seed salt; ArrivalSeedSalt and
+// RuntimeSeedSalt (internal/workload) are its siblings for the arrival
+// and runtime-tail streams.
+const (
+	ScenarioFaultSeedSalt = scenario.FaultSeedSalt
+	ArrivalSeedSalt       = workload.ArrivalSeedSalt
+	RuntimeSeedSalt       = workload.RuntimeSeedSalt
+)
+
+// FormatScenarioBatchLine renders one committed batch as the standard
+// verbose line of the CLIs.
+func FormatScenarioBatchLine(br ClusterBatchReport) string { return scenario.FormatBatchLine(br) }
+
+// FormatScenarioDecisionLine renders one routing decision as the
+// standard verbose line of the CLIs.
+func FormatScenarioDecisionLine(d GridDecision) string { return scenario.FormatDecisionLine(d) }
+
+// WriteScenarioReport renders the unified report as the standard text
+// report of the matching topology (the byte format the golden files pin).
+func WriteScenarioReport(w io.Writer, info ScenarioInfo, rep *ScenarioReport) error {
+	return scenario.WriteReport(w, info, rep)
+}
+
+// WriteScenarioReportJSON exports a grid report as the stable JSON shape.
+func WriteScenarioReportJSON(w io.Writer, rep *ScenarioReport) error {
+	return scenario.WriteReportJSON(w, rep)
+}
+
+// WriteScenarioReportCSV exports the per-cluster summary as CSV (fault
+// columns appear exactly when the scenario carries a fault plan).
+func WriteScenarioReportCSV(w io.Writer, info ScenarioInfo, rep *ScenarioReport) error {
+	return scenario.WriteReportCSV(w, info, rep)
+}
+
+// WriteServeFinalReport renders a drained service's final report as the
+// standard text.
+func WriteServeFinalReport(w io.Writer, rep *ServeFinalReport) { scenario.WriteFinalReport(w, rep) }
 
 // ---------------------------------------------------------------------------
 // Task and instance model
@@ -303,11 +459,18 @@ func NewClusterEngine(cfg ClusterConfig) (*ClusterEngine, error) { return cluste
 
 // RunCluster builds an engine and replays the job stream through it.
 func RunCluster(cfg ClusterConfig, jobs []OnlineJob) (*ClusterReport, error) {
+	return RunClusterContext(context.Background(), cfg, jobs)
+}
+
+// RunClusterContext is RunCluster with cancellation: the context is
+// checked between batches, so cancelling it aborts the replay promptly
+// (errors.Is(err, ctx.Err()) holds on the returned error).
+func RunClusterContext(ctx context.Context, cfg ClusterConfig, jobs []OnlineJob) (*ClusterReport, error) {
 	eng, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run(jobs)
+	return eng.RunContext(ctx, jobs)
 }
 
 // ClusterPortfolio returns the paper's full comparison as a portfolio:
@@ -451,11 +614,18 @@ func NewGrid(cfg GridConfig) (*GridFederation, error) { return grid.New(cfg) }
 
 // RunGrid builds a federation and replays the job stream through it.
 func RunGrid(cfg GridConfig, jobs []OnlineJob) (*GridReport, error) {
+	return RunGridContext(context.Background(), cfg, jobs)
+}
+
+// RunGridContext is RunGrid with cancellation: the context threads into
+// every shard engine's batch loop, so cancelling it aborts the whole
+// federation run without deadlock, even on the concurrent path.
+func RunGridContext(ctx context.Context, cfg GridConfig, jobs []OnlineJob) (*GridReport, error) {
 	f, err := grid.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return f.Run(jobs)
+	return f.RunContext(ctx, jobs)
 }
 
 // GridRoundRobin cycles jobs over the clusters open for admission.

@@ -7,6 +7,12 @@
 // drive the replay, and the run reports utilization, max flow, mean
 // stretch and the portfolio winner counts.
 //
+// Since the scenario API, this command is a thin shim: the flags are
+// translated into a single-topology bicriteria.Scenario and the compiled
+// runner does everything. The translation is behaviour-preserving — the
+// golden files pin the output byte for byte. `bicrit run` executes the
+// same scenarios from JSON files.
+//
 // Usage:
 //
 //	bicrit-cluster -m 64 -n 200 -kind mixed -rate 2 -noise 0.2 -v
@@ -16,15 +22,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
 	"bicriteria"
+	"bicriteria/cmd/internal/cliutil"
 )
 
 func main() {
@@ -35,9 +42,11 @@ func main() {
 }
 
 // reserveFlags collects repeated -reserve procs:start:end flags.
-type reserveFlags []bicriteria.Reservation
+type reserveFlags []bicriteria.ScenarioReservation
 
-func (f *reserveFlags) String() string { return fmt.Sprintf("%v", []bicriteria.Reservation(*f)) }
+func (f *reserveFlags) String() string {
+	return fmt.Sprintf("%v", []bicriteria.ScenarioReservation(*f))
+}
 
 func (f *reserveFlags) Set(s string) error {
 	parts := strings.Split(s, ":")
@@ -56,7 +65,7 @@ func (f *reserveFlags) Set(s string) error {
 	if err != nil {
 		return fmt.Errorf("bad end %q", parts[2])
 	}
-	*f = append(*f, bicriteria.Reservation{Procs: procs, Start: start, End: end})
+	*f = append(*f, bicriteria.ScenarioReservation{Procs: procs, Start: start, End: end})
 	return nil
 }
 
@@ -92,172 +101,62 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	perturb, err := bicriteria.UniformRuntimeNoise(*noise, *seed)
-	if err != nil {
+	// The replan flag is validated whether faults are active or not, like
+	// the pre-scenario CLI did.
+	if _, err := bicriteria.ParseClusterReplan(*replanFlag, *checkpointCredit); err != nil {
 		return err
 	}
-	jobs, err := loadJobs(*tracePath, *kindFlag, *m, *n, *seed, *rate, *burst)
-	if err != nil {
+	if err := cliutil.RejectInexpressibleZeros(fs, *policyFlag, *objectiveFlag); err != nil {
 		return err
 	}
-	replan, err := bicriteria.ParseClusterReplan(*replanFlag, *checkpointCredit)
-	if err != nil {
-		return err
+
+	scn := bicriteria.Scenario{
+		Seed:     *seed,
+		Topology: bicriteria.TopologySingle,
+		Clusters: []bicriteria.ScenarioCluster{{Machines: *m, Reservations: reserves}},
+		Workload: bicriteria.ScenarioWorkload{Kind: *kindFlag, Jobs: *n},
+		Arrivals: bicriteria.ScenarioArrivals{Rate: *rate, Burst: *burst, Trace: *tracePath},
+		Batch: bicriteria.ScenarioBatch{
+			Policy: *policyFlag, Interval: *interval, WorkFactor: *workFactor, MaxDelay: *maxDelay,
+		},
+		Objective:  bicriteria.ScenarioObjective{Kind: *objectiveFlag, Alpha: *alpha},
+		Noise:      *noise,
+		Sequential: *sequential,
 	}
-	var plan *bicriteria.FaultsPlan
 	if *faultMTBF > 0 || *faultCorrMTBF > 0 {
+		// The legacy default fault seed is the raw stream seed; pass it
+		// explicitly so the translation stays behaviour-preserving (a bare
+		// scenario would derive ScenarioFaultSeed(seed) instead).
 		fseed := *faultSeed
 		if fseed == 0 {
 			fseed = *seed
 		}
-		plan, err = bicriteria.GenerateFaultsForJobs(bicriteria.FaultsConfig{
-			Seed:           fseed,
-			Clusters:       []int{*m},
-			MTBF:           *faultMTBF,
-			Shape:          *faultShape,
-			RepairMean:     *faultRepair,
-			CorrelatedMTBF: *faultCorrMTBF,
-			CorrelatedSize: *faultCorrSize,
-		}, jobs)
-		if err != nil {
-			return err
+		scn.Faults = &bicriteria.ScenarioFaults{
+			Seed:             fseed,
+			MTBF:             *faultMTBF,
+			Shape:            *faultShape,
+			Repair:           *faultRepair,
+			CorrelatedMTBF:   *faultCorrMTBF,
+			CorrelatedSize:   *faultCorrSize,
+			Replan:           *replanFlag,
+			CheckpointCredit: *checkpointCredit,
 		}
 	}
 
-	policy, err := buildPolicy(*policyFlag, *interval, *workFactor*float64(*m), *maxDelay)
+	runner, err := bicriteria.Compile(scn)
 	if err != nil {
 		return err
-	}
-	objective, err := buildObjective(*objectiveFlag, *alpha)
-	if err != nil {
-		return err
-	}
-
-	cfg := bicriteria.ClusterConfig{
-		M:            *m,
-		Portfolio:    bicriteria.ClusterPortfolio(&bicriteria.DEMTOptions{Seed: *seed}),
-		Objective:    objective,
-		Policy:       policy,
-		Reservations: reserves,
-		Perturb:      perturb,
-		Sequential:   *sequential,
-	}
-	if plan != nil {
-		cfg.Outages = plan.ClusterWindows(0, *m)
-		cfg.Replan = replan
 	}
 	if *verbose {
-		cfg.OnBatch = func(br bicriteria.ClusterBatchReport) {
-			killed := ""
-			if len(br.Killed) > 0 {
-				killed = fmt.Sprintf("  killed=%d", len(br.Killed))
-			}
-			fmt.Fprintf(out, "batch %3d  t=%9.2f  jobs=%3d  winner=%-9s  planned=%8.2f  realized=%8.2f  util=%5.1f%%%s\n",
-				br.Index, br.FireTime, len(br.Jobs), br.Winner, br.PlannedMakespan, br.RealizedMakespan,
-				100*br.Cumulative.Utilization, killed)
-		}
+		runner.Observe(bicriteria.ScenarioObserver{
+			Batch: func(_ int, br bicriteria.ClusterBatchReport) {
+				fmt.Fprint(out, bicriteria.FormatScenarioBatchLine(br))
+			},
+		})
 	}
-
-	report, err := bicriteria.RunCluster(cfg, jobs)
+	rep, err := runner.Run(context.Background())
 	if err != nil {
 		return err
 	}
-	if len(cfg.Reservations) > 0 {
-		if err := bicriteria.ValidateReservations(report.Schedule, cfg.Reservations, report.Blocked); err != nil {
-			return fmt.Errorf("realized trace violates a reservation: %w", err)
-		}
-	}
-	printReport(out, &cfg, report, policy.Name(), len(jobs))
-	return nil
-}
-
-// loadJobs builds the job stream from an SWF trace or the generator.
-func loadJobs(tracePath, kind string, m, n int, seed int64, rate float64, burst int) ([]bicriteria.OnlineJob, error) {
-	if tracePath != "" {
-		f, err := os.Open(tracePath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		records, err := bicriteria.ParseTrace(f)
-		if err != nil {
-			return nil, err
-		}
-		tasks := bicriteria.TraceToTasks(records, m, nil)
-		releases := bicriteria.TraceReleases(records)
-		jobs := make([]bicriteria.OnlineJob, len(tasks))
-		for i, t := range tasks {
-			jobs[i] = bicriteria.OnlineJob{Task: t, Release: releases[t.ID]}
-		}
-		return jobs, nil
-	}
-	k, err := bicriteria.ParseWorkloadKind(kind)
-	if err != nil {
-		return nil, err
-	}
-	arrivals, err := bicriteria.GenerateArrivals(bicriteria.ArrivalConfig{
-		Workload:  bicriteria.WorkloadConfig{Kind: k, M: m, N: n, Seed: seed},
-		Rate:      rate,
-		BurstSize: burst,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return bicriteria.ArrivalJobs(arrivals), nil
-}
-
-func buildPolicy(name string, interval, workTarget, maxDelay float64) (bicriteria.ClusterBatchPolicy, error) {
-	switch name {
-	case "idle":
-		return bicriteria.BatchOnIdle(), nil
-	case "interval":
-		return bicriteria.FixedIntervalPolicy(interval)
-	case "adaptive":
-		return bicriteria.AdaptiveBacklogPolicy(workTarget, maxDelay)
-	}
-	return nil, fmt.Errorf("unknown policy %q (want idle, interval or adaptive)", name)
-}
-
-func buildObjective(name string, alpha float64) (bicriteria.ClusterObjective, error) {
-	switch name {
-	case "makespan":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveMakespan}, nil
-	case "minsum":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveWeightedCompletion}, nil
-	case "combined":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveCombined, Alpha: alpha}, nil
-	}
-	return bicriteria.ClusterObjective{}, fmt.Errorf("unknown objective %q (want makespan, minsum or combined)", name)
-}
-
-func printReport(out io.Writer, cfg *bicriteria.ClusterConfig, report *bicriteria.ClusterReport, policyName string, jobs int) {
-	met := report.Metrics
-	fmt.Fprintf(out, "replayed %d jobs in %d batches on %d processors (policy %s, objective %s)\n",
-		jobs, met.Batches, cfg.M, policyName, cfg.Objective.Kind)
-	fmt.Fprintf(out, "  realized makespan     %.2f\n", met.Makespan)
-	fmt.Fprintf(out, "  weighted completion   %.2f\n", met.WeightedCompletion)
-	fmt.Fprintf(out, "  max flow              %.2f\n", met.MaxFlow)
-	fmt.Fprintf(out, "  mean stretch          %.2f\n", met.MeanStretch)
-	fmt.Fprintf(out, "  stretch p50/p95/p99   %.2f / %.2f / %.2f\n", met.StretchP50, met.StretchP95, met.StretchP99)
-	fmt.Fprintf(out, "  bounded slowdown      %.2f (p50 %.2f, p95 %.2f, p99 %.2f)\n",
-		met.MeanBoundedSlowdown, met.BoundedSlowdownP50, met.BoundedSlowdownP95, met.BoundedSlowdownP99)
-	fmt.Fprintf(out, "  utilization           %.1f%%\n", 100*met.Utilization)
-	fmt.Fprintf(out, "  delayed tasks         %d\n", met.Delayed)
-	if len(cfg.Reservations) > 0 {
-		fmt.Fprintf(out, "  reservations          %d (all respected)\n", len(cfg.Reservations))
-	}
-	if len(cfg.Outages) > 0 {
-		fmt.Fprintf(out, "  fault injection       %d outage windows (%s replan)\n", len(cfg.Outages), cfg.Replan.Kind)
-		fmt.Fprintf(out, "  kills                 %d (resubmitted %d, recovered %d, lost %d)\n",
-			met.Killed, met.Resubmitted, met.Recovered, met.Lost)
-	}
-	names := make([]string, 0, len(met.Wins))
-	for name := range met.Wins {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fmt.Fprintln(out, "portfolio wins:")
-	for _, name := range names {
-		fmt.Fprintf(out, "  %-10s %d\n", name, met.Wins[name])
-	}
+	return bicriteria.WriteScenarioReport(out, runner.Info(), rep)
 }

@@ -82,3 +82,23 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRejectsInexpressibleZeroFlags pins that explicitly-set zero
+// values the scenario spec cannot express (its zero means "the default")
+// fail loudly instead of silently running a different experiment.
+func TestRunRejectsInexpressibleZeroFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-m", "16", "-n", "10", "-objective", "combined", "-alpha", "0"},
+		{"-m", "16", "-n", "10", "-policy", "adaptive", "-max-delay", "0"},
+		{"-m", "16", "-n", "10", "-policy", "adaptive", "-work-factor", "0"},
+		{"-m", "16", "-n", "10", "-policy", "interval", "-interval", "0"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+	// The same zeros are fine when the knob is irrelevant to the policy.
+	if err := run([]string{"-m", "16", "-n", "10", "-policy", "idle", "-interval", "0"}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("irrelevant zero rejected: %v", err)
+	}
+}

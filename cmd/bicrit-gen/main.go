@@ -24,6 +24,28 @@
 //
 //     bicrit-gen -target http://localhost:8080 -n 200 -rate 6 -speedup 60 -bulk 8 -drain
 //     bicrit-gen -target http://localhost:8080 -in stream.json -speedup 60
+//
+// # Seed derivation
+//
+// The single -seed flag deterministically derives every random stream, so
+// one seed names one complete experiment:
+//
+//   - the task stream (sizes, weights, time vectors) draws from seed
+//     itself;
+//   - the arrival instants draw from seed ^ bicriteria.ArrivalSeedSalt;
+//   - the runtime-tail factors draw from seed ^ bicriteria.RuntimeSeedSalt;
+//   - the fault plan (-faults sidecar) draws from
+//     bicriteria.ScenarioFaultSeed(seed) = seed ^ ScenarioFaultSeedSalt.
+//
+// Earlier versions had no fault sub-seed at all: downstream CLIs reused
+// the raw workload seed for the fault generator, correlating the failure
+// stream with the task stream the salts exist to decorrelate. The
+// -faults sidecar (and the scenario compiler) use the derived sub-seed;
+// the legacy replay CLIs keep their raw-seed default for golden-output
+// compatibility, and -fault-seed pins an explicit value everywhere.
+//
+//	bicrit-gen -arrivals stream.json -m 64 -n 300 -rate 6 \
+//	    -faults plan.json -fault-mtbf 25 -fault-repair 5
 package main
 
 import (
@@ -52,7 +74,7 @@ func run(args []string, out io.Writer) error {
 	kindFlag := fs.String("kind", "cirne", "workload kind: weakly-parallel, highly-parallel, mixed or cirne")
 	m := fs.Int("m", 200, "number of processors")
 	n := fs.Int("n", 100, "number of tasks")
-	seed := fs.Int64("seed", 1, "random seed")
+	seed := fs.Int64("seed", 1, "master seed; the task, arrival, runtime-tail and fault streams all derive from it (see the command doc)")
 	outPath := fs.String("o", "", "output file for instance mode (default: stdout)")
 	arrivalsPath := fs.String("arrivals", "", "arrival-stream mode: write an on-line job stream to this file")
 	rate := fs.Float64("rate", 4, "arrival stream: mean job arrival rate (jobs per time unit)")
@@ -61,6 +83,15 @@ func run(args []string, out io.Writer) error {
 	arrivalShape := fs.Float64("arrival-shape", 0, "arrival stream: lognormal sigma or weibull shape (0 = default)")
 	runtimeFlag := fs.String("runtime-tail", "default", "arrival stream: heavy-tailed runtime scaling (default, lognormal or weibull)")
 	runtimeShape := fs.Float64("runtime-shape", 0, "arrival stream: shape of the runtime scaling law (0 = default)")
+	faultsPath := fs.String("faults", "", "arrival-stream mode: also write the stream's fault plan (derived fault sub-seed) to this file")
+	faultMTBF := fs.Float64("fault-mtbf", 0, "fault plan: mean time between failures per node (0 = no node faults)")
+	faultShape := fs.Float64("fault-shape", 0, "fault plan: Weibull shape of the failure law (0 = default)")
+	faultRepair := fs.Float64("fault-repair", 0, "fault plan: mean node repair duration (0 = mtbf/10)")
+	faultSeed := fs.Int64("fault-seed", 0, "fault plan: explicit seed (0 = derive seed^ScenarioFaultSeedSalt)")
+	faultCorrMTBF := fs.Float64("fault-corr-mtbf", 0, "fault plan: mean time between correlated group failures (0 = none)")
+	faultCorrSize := fs.Int("fault-corr-size", 0, "fault plan: nodes per correlated failure group (0 = quarter of the machine)")
+	shardMTBF := fs.Float64("shard-mtbf", 0, "fault plan: mean time between whole-machine outages (0 = none)")
+	shardRepair := fs.Float64("shard-repair", 0, "fault plan: mean whole-machine outage duration (0 = shard-mtbf/10)")
 	target := fs.String("target", "", "load-generator mode: base URL of a running bicrit-serve instance")
 	inPath := fs.String("in", "", "load-generator mode: replay this arrival file instead of generating")
 	speedup := fs.Float64("speedup", 0, "load generator: virtual time units per wall second for pacing (0 = submit as fast as possible); match the server's -speedup")
@@ -93,7 +124,20 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %d arrivals over [0, %.2f] for %d processors to %s\n",
 			len(arrivals), horizon, *m, *arrivalsPath)
+		if *faultsPath != "" {
+			if err := writeFaultPlan(out, *faultsPath, *m, arrivals, faultConfig{
+				seed: *seed, explicitSeed: *faultSeed,
+				mtbf: *faultMTBF, shape: *faultShape, repair: *faultRepair,
+				corrMTBF: *faultCorrMTBF, corrSize: *faultCorrSize,
+				shardMTBF: *shardMTBF, shardRepair: *shardRepair,
+			}); err != nil {
+				return err
+			}
+		}
 		return nil
+	}
+	if *faultsPath != "" {
+		return fmt.Errorf("-faults needs -arrivals (the plan's horizon is estimated from the stream)")
 	}
 
 	kind, err := bicriteria.ParseWorkloadKind(*kindFlag)
@@ -111,6 +155,65 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %d tasks on %d processors (%s workload) to %s\n", inst.N(), inst.M, kind, *outPath)
+	return nil
+}
+
+// faultConfig bundles the fault-plan flags.
+type faultConfig struct {
+	seed, explicitSeed     int64
+	mtbf, shape, repair    float64
+	corrMTBF               float64
+	corrSize               int
+	shardMTBF, shardRepair float64
+}
+
+// faultPlanFile is the versioned on-disk wrapper of a generated fault
+// plan: the plan itself plus the provenance (seed, machine) that lets a
+// reader reproduce it.
+type faultPlanFile struct {
+	Version    int                    `json:"version"`
+	Seed       int64                  `json:"seed"`
+	Processors int                    `json:"processors"`
+	Plan       *bicriteria.FaultsPlan `json:"plan"`
+}
+
+// writeFaultPlan generates the arrival stream's fault plan with the
+// derived fault sub-seed (seed ^ ScenarioFaultSeedSalt, unless -fault-seed
+// pins one) and writes it as versioned JSON.
+func writeFaultPlan(out io.Writer, path string, m int, arrivals []bicriteria.Arrival, fc faultConfig) error {
+	fseed := fc.explicitSeed
+	if fseed == 0 {
+		fseed = bicriteria.ScenarioFaultSeed(fc.seed)
+	}
+	plan, err := bicriteria.GenerateFaultsForJobs(bicriteria.FaultsConfig{
+		Seed:            fseed,
+		Clusters:        []int{m},
+		MTBF:            fc.mtbf,
+		Shape:           fc.shape,
+		RepairMean:      fc.repair,
+		CorrelatedMTBF:  fc.corrMTBF,
+		CorrelatedSize:  fc.corrSize,
+		ShardMTBF:       fc.shardMTBF,
+		ShardRepairMean: fc.shardRepair,
+	}, bicriteria.ArrivalJobs(arrivals))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(faultPlanFile{Version: 1, Seed: fseed, Processors: m, Plan: plan})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote fault plan (%d node outages, %d shard outages, fault seed %d) to %s\n",
+		len(plan.Nodes), len(plan.Shards), fseed, path)
 	return nil
 }
 

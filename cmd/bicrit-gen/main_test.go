@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -167,5 +169,90 @@ func TestRunLoadGeneratorPacesSubmissions(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
 		t.Fatalf("paced replay finished in %s, too fast to have paced at all", elapsed)
+	}
+}
+
+// TestRunWritesFaultPlanSidecar pins the documented seed derivation of
+// the -faults sidecar: the plan is a deterministic function of -seed, it
+// uses the *derived* fault sub-seed (seed ^ ScenarioFaultSeedSalt), and
+// -fault-seed overrides it.
+func TestRunWritesFaultPlanSidecar(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "stream.json")
+	plan := filepath.Join(dir, "plan.json")
+	args := []string{"-arrivals", stream, "-m", "16", "-n", "40", "-rate", "6",
+		"-seed", "9", "-faults", plan, "-fault-mtbf", "20", "-fault-repair", "5"}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote fault plan") {
+		t.Fatalf("missing fault plan line in output: %s", buf.String())
+	}
+	raw, err := os.ReadFile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Version    int                    `json:"version"`
+		Seed       int64                  `json:"seed"`
+		Processors int                    `json:"processors"`
+		Plan       *bicriteria.FaultsPlan `json:"plan"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Version != 1 || file.Processors != 16 {
+		t.Fatalf("bad plan header: %+v", file)
+	}
+	if want := bicriteria.ScenarioFaultSeed(9); file.Seed != want {
+		t.Fatalf("plan used seed %d, want derived sub-seed %d", file.Seed, want)
+	}
+	if file.Plan == nil || len(file.Plan.Nodes) == 0 {
+		t.Fatal("fault plan is empty at MTBF 20 over a 40-job stream")
+	}
+
+	// Determinism: same flags, same plan bytes.
+	plan2 := filepath.Join(dir, "plan2.json")
+	args2 := append([]string(nil), args...)
+	args2[11] = plan2
+	if err := run(args2, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(plan2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatal("identical flags produced different fault plans")
+	}
+
+	// -fault-seed pins an explicit seed and changes the plan.
+	plan3 := filepath.Join(dir, "plan3.json")
+	args3 := append(append([]string(nil), args...), "-fault-seed", "1234")
+	args3[11] = plan3
+	if err := run(args3, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	raw3, err := os.ReadFile(plan3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw3, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Seed != 1234 {
+		t.Fatalf("explicit fault seed ignored: %d", file.Seed)
+	}
+	if string(raw3) == string(raw) {
+		t.Fatal("explicit fault seed produced the derived plan")
+	}
+}
+
+// TestRunFaultsRequiresArrivals pins that the sidecar needs a stream to
+// size its horizon.
+func TestRunFaultsRequiresArrivals(t *testing.T) {
+	if err := run([]string{"-faults", filepath.Join(t.TempDir(), "p.json"), "-fault-mtbf", "10"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-faults without -arrivals accepted")
 	}
 }

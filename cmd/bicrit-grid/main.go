@@ -9,6 +9,12 @@
 // percentiles, plus a per-cluster table; JSON and CSV exports are
 // available for downstream analysis.
 //
+// Since the scenario API, this command is a thin shim: the flags are
+// translated into a grid-topology bicriteria.Scenario and the compiled
+// runner does everything. The translation is behaviour-preserving — the
+// golden files pin the report, JSON and CSV bytes. `bicrit run` executes
+// the same scenarios from JSON files.
+//
 // Usage:
 //
 //	bicrit-grid -clusters 64,32,16 -n 300 -kind mixed -rate 6 -routing least-backlog
@@ -18,17 +24,14 @@
 package main
 
 import (
-	"encoding/csv"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 
 	"bicriteria"
+	"bicriteria/cmd/internal/cliutil"
 )
 
 func main() {
@@ -82,99 +85,88 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	routing, err := bicriteria.ParseGridRoutingPolicy(*routingFlag)
-	if err != nil {
+	if _, err := bicriteria.ParseClusterReplan(*replanFlag, *checkpointCredit); err != nil {
 		return err
 	}
-	jobs, err := loadJobs(*kindFlag, sizes, *n, *seed, *rate, *burst, *arrivalFlag, *arrivalShape, *runtimeFlag, *runtimeShape)
-	if err != nil {
+	if err := cliutil.RejectInexpressibleZeros(fs, *policyFlag, *objectiveFlag); err != nil {
 		return err
 	}
-	objective, err := buildObjective(*objectiveFlag, *alpha)
-	if err != nil {
-		return err
+
+	clusters := make([]bicriteria.ScenarioCluster, len(sizes))
+	for i, m := range sizes {
+		clusters[i] = bicriteria.ScenarioCluster{Machines: m}
 	}
-	replan, err := bicriteria.ParseClusterReplan(*replanFlag, *checkpointCredit)
-	if err != nil {
-		return err
+	scn := bicriteria.Scenario{
+		Seed:     *seed,
+		Topology: bicriteria.TopologyGrid,
+		Clusters: clusters,
+		Workload: bicriteria.ScenarioWorkload{Kind: *kindFlag, Jobs: *n},
+		Arrivals: bicriteria.ScenarioArrivals{
+			Rate:              *rate,
+			Burst:             *burst,
+			Interarrival:      *arrivalFlag,
+			InterarrivalShape: *arrivalShape,
+			RuntimeTail:       *runtimeFlag,
+			RuntimeTailShape:  *runtimeShape,
+		},
+		Batch: bicriteria.ScenarioBatch{
+			Policy: *policyFlag, Interval: *interval, WorkFactor: *workFactor, MaxDelay: *maxDelay,
+		},
+		Objective:  bicriteria.ScenarioObjective{Kind: *objectiveFlag, Alpha: *alpha},
+		Routing:    bicriteria.ScenarioRouting{Policy: *routingFlag, AdmitBacklog: *admit, QueueDepth: *queue},
+		Noise:      *noise,
+		Sequential: *sequential,
 	}
-	var plan *bicriteria.FaultsPlan
 	if *faultMTBF > 0 || *faultCorrMTBF > 0 || *shardMTBF > 0 {
+		// The legacy default fault seed is the raw stream seed; pass it
+		// explicitly so the translation stays behaviour-preserving.
 		fseed := *faultSeed
 		if fseed == 0 {
 			fseed = *seed
 		}
-		plan, err = bicriteria.GenerateFaultsForJobs(bicriteria.FaultsConfig{
-			Seed:            fseed,
-			Clusters:        sizes,
-			MTBF:            *faultMTBF,
-			Shape:           *faultShape,
-			RepairMean:      *faultRepair,
-			CorrelatedMTBF:  *faultCorrMTBF,
-			CorrelatedSize:  *faultCorrSize,
-			ShardMTBF:       *shardMTBF,
-			ShardRepairMean: *shardRepair,
-		}, jobs)
-		if err != nil {
-			return err
+		scn.Faults = &bicriteria.ScenarioFaults{
+			Seed:             fseed,
+			MTBF:             *faultMTBF,
+			Shape:            *faultShape,
+			Repair:           *faultRepair,
+			CorrelatedMTBF:   *faultCorrMTBF,
+			CorrelatedSize:   *faultCorrSize,
+			ShardMTBF:        *shardMTBF,
+			ShardRepair:      *shardRepair,
+			Replan:           *replanFlag,
+			CheckpointCredit: *checkpointCredit,
 		}
 	}
 
-	specs := make([]bicriteria.GridClusterSpec, len(sizes))
-	for i, m := range sizes {
-		policy, err := buildPolicy(*policyFlag, *interval, *workFactor*float64(m), *maxDelay)
-		if err != nil {
-			return err
-		}
-		// Independent perturbation stream per shard: same fraction,
-		// decorrelated seeds.
-		perturb, err := bicriteria.UniformRuntimeNoise(*noise, *seed^int64(i+1)*0x9E3779B9)
-		if err != nil {
-			return err
-		}
-		specs[i] = bicriteria.GridClusterSpec{
-			M:         m,
-			Portfolio: bicriteria.ClusterPortfolio(&bicriteria.DEMTOptions{Seed: *seed}),
-			Objective: objective,
-			Policy:    policy,
-			Perturb:   perturb,
-		}
-	}
-
-	cfg := bicriteria.GridConfig{
-		Clusters:     specs,
-		Routing:      routing,
-		QueueDepth:   *queue,
-		AdmitBacklog: *admit,
-		Sequential:   *sequential,
-	}
-	if plan != nil {
-		cfg.Faults = plan
-		cfg.Replan = replan
-	}
-	if *verbose {
-		cfg.OnDecision = func(d bicriteria.GridDecision) {
-			migrated := ""
-			if d.Migrated {
-				migrated = "  [migrated]"
-			}
-			fmt.Fprintf(out, "route job %4d  t=%9.2f  -> cluster %d  (backlog %.2f)%s\n",
-				d.JobID, d.Release, d.Cluster, d.Backlog, migrated)
-		}
-	}
-
-	report, err := bicriteria.RunGrid(cfg, jobs)
+	runner, err := bicriteria.Compile(scn)
 	if err != nil {
 		return err
 	}
-	printReport(out, sizes, report, len(jobs), plan)
+	if *verbose {
+		runner.Observe(bicriteria.ScenarioObserver{
+			Decision: func(d bicriteria.GridDecision) {
+				fmt.Fprint(out, bicriteria.FormatScenarioDecisionLine(d))
+			},
+		})
+	}
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if err := bicriteria.WriteScenarioReport(out, runner.Info(), rep); err != nil {
+		return err
+	}
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, report); err != nil {
+		if err := cliutil.WriteFile(*jsonPath, func(w io.Writer) error {
+			return bicriteria.WriteScenarioReportJSON(w, rep)
+		}); err != nil {
 			return err
 		}
 	}
 	if *csvPath != "" {
-		if err := writeCSV(*csvPath, report, plan != nil); err != nil {
+		if err := cliutil.WriteFile(*csvPath, func(w io.Writer) error {
+			return bicriteria.WriteScenarioReportCSV(w, runner.Info(), rep)
+		}); err != nil {
 			return err
 		}
 	}
@@ -182,203 +174,4 @@ func run(args []string, out io.Writer) error {
 }
 
 // parseSizes parses the -clusters flag into shard processor counts.
-func parseSizes(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	sizes := make([]int, 0, len(parts))
-	for _, p := range parts {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		m, err := strconv.Atoi(p)
-		if err != nil || m < 1 {
-			return nil, fmt.Errorf("bad cluster size %q (want a positive processor count)", p)
-		}
-		sizes = append(sizes, m)
-	}
-	if len(sizes) == 0 {
-		return nil, fmt.Errorf("-clusters lists no cluster sizes")
-	}
-	return sizes, nil
-}
-
-// loadJobs generates the arrival stream, sizing tasks for the largest shard
-// so wide jobs can exploit it.
-func loadJobs(kind string, sizes []int, n int, seed int64, rate float64, burst int,
-	arrival string, arrivalShape float64, runtimeTail string, runtimeShape float64) ([]bicriteria.OnlineJob, error) {
-	k, err := bicriteria.ParseWorkloadKind(kind)
-	if err != nil {
-		return nil, err
-	}
-	arrivalDist, err := bicriteria.ParseArrivalDistribution(arrival)
-	if err != nil {
-		return nil, err
-	}
-	runtimeDist, err := bicriteria.ParseArrivalDistribution(runtimeTail)
-	if err != nil {
-		return nil, err
-	}
-	maxM := 0
-	for _, m := range sizes {
-		if m > maxM {
-			maxM = m
-		}
-	}
-	arrivals, err := bicriteria.GenerateArrivals(bicriteria.ArrivalConfig{
-		Workload:          bicriteria.WorkloadConfig{Kind: k, M: maxM, N: n, Seed: seed},
-		Rate:              rate,
-		BurstSize:         burst,
-		Interarrival:      arrivalDist,
-		InterarrivalShape: arrivalShape,
-		RuntimeTail:       runtimeDist,
-		RuntimeTailShape:  runtimeShape,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return bicriteria.ArrivalJobs(arrivals), nil
-}
-
-func buildPolicy(name string, interval, workTarget, maxDelay float64) (bicriteria.ClusterBatchPolicy, error) {
-	switch name {
-	case "idle":
-		return bicriteria.BatchOnIdle(), nil
-	case "interval":
-		return bicriteria.FixedIntervalPolicy(interval)
-	case "adaptive":
-		return bicriteria.AdaptiveBacklogPolicy(workTarget, maxDelay)
-	}
-	return nil, fmt.Errorf("unknown batching policy %q (want idle, interval or adaptive)", name)
-}
-
-func buildObjective(name string, alpha float64) (bicriteria.ClusterObjective, error) {
-	switch name {
-	case "makespan":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveMakespan}, nil
-	case "minsum":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveWeightedCompletion}, nil
-	case "combined":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveCombined, Alpha: alpha}, nil
-	}
-	return bicriteria.ClusterObjective{}, fmt.Errorf("unknown objective %q (want makespan, minsum or combined)", name)
-}
-
-func printReport(out io.Writer, sizes []int, report *bicriteria.GridReport, jobs int, plan *bicriteria.FaultsPlan) {
-	met := report.Metrics
-	total := 0
-	for _, m := range sizes {
-		total += m
-	}
-	fmt.Fprintf(out, "routed %d jobs across %d clusters (%d processors, policy %s)\n",
-		jobs, met.Clusters, total, report.Policy)
-	fmt.Fprintf(out, "  grid makespan         %.2f\n", met.Makespan)
-	fmt.Fprintf(out, "  weighted completion   %.2f\n", met.WeightedCompletion)
-	fmt.Fprintf(out, "  max flow              %.2f\n", met.MaxFlow)
-	fmt.Fprintf(out, "  mean stretch          %.2f\n", met.MeanStretch)
-	fmt.Fprintf(out, "  stretch p50/p95/p99   %.2f / %.2f / %.2f\n", met.StretchP50, met.StretchP95, met.StretchP99)
-	fmt.Fprintf(out, "  bounded slowdown      %.2f (p50 %.2f, p95 %.2f, p99 %.2f)\n",
-		met.MeanBoundedSlowdown, met.BoundedSlowdownP50, met.BoundedSlowdownP95, met.BoundedSlowdownP99)
-	fmt.Fprintf(out, "  grid utilization      %.1f%%\n", 100*met.Utilization)
-	fmt.Fprintf(out, "  admission rejections  %d\n", met.Rejections)
-	faulted := plan != nil
-	if faulted {
-		fmt.Fprintf(out, "  fault plan            %d node outages, %d shard outages\n", len(plan.Nodes), len(plan.Shards))
-		fmt.Fprintf(out, "  kills                 %d (resubmitted %d, migrated %d, recovered %d, lost %d)\n",
-			met.Killed, met.Resubmitted, met.Migrated, met.Recovered, met.Lost)
-	}
-	fmt.Fprintln(out, "per-cluster:")
-	for _, pc := range met.PerCluster {
-		winners := make([]string, 0, len(pc.Wins))
-		for name := range pc.Wins {
-			winners = append(winners, name)
-		}
-		sort.Strings(winners)
-		wins := make([]string, 0, len(winners))
-		for _, name := range winners {
-			wins = append(wins, fmt.Sprintf("%s:%d", name, pc.Wins[name]))
-		}
-		faults := ""
-		if faulted {
-			faults = fmt.Sprintf("killed=%d migrated=%d lost=%d  ", pc.Killed, pc.Migrated, pc.Lost)
-		}
-		fmt.Fprintf(out, "  cluster %d  m=%-4d jobs=%-4d batches=%-3d makespan=%8.2f  util=%5.1f%%  stretch=%.2f  peak-backlog=%.2f  rejected=%d  %swins %s\n",
-			pc.Index, pc.M, pc.Jobs, pc.Batches, pc.Makespan, 100*pc.Utilization, pc.MeanStretch, pc.PeakBacklog, pc.Rejected, faults, strings.Join(wins, " "))
-	}
-}
-
-// jsonReport is the stable JSON shape of a grid run. The per-cluster
-// table lives inside metrics (GridMetrics.PerCluster).
-type jsonReport struct {
-	Policy    string                    `json:"policy"`
-	Metrics   bicriteria.GridMetrics    `json:"metrics"`
-	Decisions []bicriteria.GridDecision `json:"decisions"`
-}
-
-func writeJSON(path string, report *bicriteria.GridReport) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	err = enc.Encode(jsonReport{
-		Policy:    report.Policy,
-		Metrics:   report.Metrics,
-		Decisions: report.Decisions,
-	})
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-func writeCSV(path string, report *bicriteria.GridReport, faulted bool) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w := csv.NewWriter(f)
-	header := []string{"cluster", "m", "jobs", "batches", "makespan", "utilization", "mean_stretch", "peak_backlog", "rejected"}
-	if faulted {
-		// The fault metrics columns appear only on faulted runs, so the
-		// zero-fault CSV stays byte-identical to a build without the
-		// faults subsystem.
-		header = append(header, "killed", "resubmitted", "migrated", "recovered", "lost")
-	}
-	if err := w.Write(header); err != nil {
-		f.Close()
-		return err
-	}
-	for _, pc := range report.Metrics.PerCluster {
-		rec := []string{
-			strconv.Itoa(pc.Index),
-			strconv.Itoa(pc.M),
-			strconv.Itoa(pc.Jobs),
-			strconv.Itoa(pc.Batches),
-			strconv.FormatFloat(pc.Makespan, 'f', 6, 64),
-			strconv.FormatFloat(pc.Utilization, 'f', 6, 64),
-			strconv.FormatFloat(pc.MeanStretch, 'f', 6, 64),
-			strconv.FormatFloat(pc.PeakBacklog, 'f', 6, 64),
-			strconv.Itoa(pc.Rejected),
-		}
-		if faulted {
-			rec = append(rec,
-				strconv.Itoa(pc.Killed),
-				strconv.Itoa(pc.Resubmitted),
-				strconv.Itoa(pc.Migrated),
-				strconv.Itoa(pc.Recovered),
-				strconv.Itoa(pc.Lost),
-			)
-		}
-		if err := w.Write(rec); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	w.Flush()
-	if err := w.Error(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
+func parseSizes(s string) ([]int, error) { return cliutil.ParseSizes(s) }

@@ -9,6 +9,11 @@
 // snapshot, and on drain emits the final grid report — identical to an
 // offline replay of the same submission stream.
 //
+// Since the scenario API, this command is a thin shim: the flags are
+// translated into a bicriteria.Scenario with a service section and
+// compiled with ScenarioServeConfig. `bicrit serve -scenario file.json`
+// runs the same services from scenario files.
+//
 // API: POST /jobs (single or bulk), GET /jobs/{id}, GET /metrics,
 // GET /healthz, POST /drain.
 //
@@ -29,12 +34,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"bicriteria"
+	"bicriteria/cmd/internal/cliutil"
 )
 
 func main() {
@@ -73,6 +77,9 @@ func run(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := cliutil.RejectInexpressibleZeros(fs, *policyFlag, *objectiveFlag); err != nil {
+		return err
+	}
 
 	cfg, err := buildConfig(*clustersFlag, *routingFlag, *policyFlag, *objectiveFlag,
 		*seed, *interval, *workFactor, *maxDelay, *alpha, *noise, *gridAdmit)
@@ -93,7 +100,14 @@ func run(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", *addr)
+	return serveLoop(server, *addr, len(cfg.Grid.Clusters), cfg.Speedup, *snapshot, out, bound, stop)
+}
+
+// serveLoop binds the HTTP API, waits for a shutdown signal (or stop) and
+// drains.
+func serveLoop(server *bicriteria.ServeServer, addr string, clusters int, speedup float64, snapshotPath string,
+	out io.Writer, bound chan<- string, stop <-chan struct{}) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -104,9 +118,9 @@ func run(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(out, "bicrit-serve listening on %s (%d clusters, speedup %g)\n",
-		ln.Addr(), len(cfg.Grid.Clusters), cfg.Speedup)
+		ln.Addr(), clusters, speedup)
 	if restored := server.CountersSnapshot().Restored; restored > 0 {
-		fmt.Fprintf(out, "restored %d jobs from snapshot %s\n", restored, *snapshot)
+		fmt.Fprintf(out, "restored %d jobs from snapshot %s\n", restored, snapshotPath)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -125,108 +139,39 @@ func run(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}
 		httpSrv.Close()
 		return err
 	}
-	printFinal(out, rep)
+	bicriteria.WriteServeFinalReport(out, rep)
 	return httpSrv.Close()
 }
 
 // buildConfig assembles the grid part of the service configuration from
-// the CLI flags.
+// the CLI flags by translating them into a Scenario: the same compile
+// path `bicrit serve` uses for scenario files.
 func buildConfig(clusters, routing, batch, objective string,
 	seed int64, interval, workFactor, maxDelay, alpha, noise, gridAdmit float64) (bicriteria.ServeConfig, error) {
-	var cfg bicriteria.ServeConfig
 	sizes, err := parseSizes(clusters)
 	if err != nil {
-		return cfg, err
+		return bicriteria.ServeConfig{}, err
 	}
-	routingPolicy, err := bicriteria.ParseGridRoutingPolicy(routing)
-	if err != nil {
-		return cfg, err
-	}
-	obj, err := buildObjective(objective, alpha)
-	if err != nil {
-		return cfg, err
-	}
-	specs := make([]bicriteria.GridClusterSpec, len(sizes))
+	specs := make([]bicriteria.ScenarioCluster, len(sizes))
 	for i, m := range sizes {
-		policy, err := buildPolicy(batch, interval, workFactor*float64(m), maxDelay)
-		if err != nil {
-			return cfg, err
-		}
-		perturb, err := bicriteria.UniformRuntimeNoise(noise, seed^int64(i+1)*0x9E3779B9)
-		if err != nil {
-			return cfg, err
-		}
-		specs[i] = bicriteria.GridClusterSpec{
-			M:         m,
-			Portfolio: bicriteria.ClusterPortfolio(&bicriteria.DEMTOptions{Seed: seed}),
-			Objective: obj,
-			Policy:    policy,
-			Perturb:   perturb,
-		}
+		specs[i] = bicriteria.ScenarioCluster{Machines: m}
 	}
-	cfg.Grid = bicriteria.GridConfig{
-		Clusters:     specs,
-		Routing:      routingPolicy,
-		AdmitBacklog: gridAdmit,
+	scn := bicriteria.Scenario{
+		Seed:     seed,
+		Topology: bicriteria.TopologyGrid,
+		Clusters: specs,
+		// The stream arrives over HTTP; the workload/arrival section only
+		// needs to satisfy validation.
+		Workload: bicriteria.ScenarioWorkload{Jobs: 1},
+		Arrivals: bicriteria.ScenarioArrivals{Rate: 1},
+		Batch: bicriteria.ScenarioBatch{
+			Policy: batch, Interval: interval, WorkFactor: workFactor, MaxDelay: maxDelay,
+		},
+		Objective: bicriteria.ScenarioObjective{Kind: objective, Alpha: alpha},
+		Routing:   bicriteria.ScenarioRouting{Policy: routing, AdmitBacklog: gridAdmit},
+		Noise:     noise,
 	}
-	return cfg, nil
+	return bicriteria.ScenarioServeConfig(scn)
 }
 
-func parseSizes(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	sizes := make([]int, 0, len(parts))
-	for _, p := range parts {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		m, err := strconv.Atoi(p)
-		if err != nil || m < 1 {
-			return nil, fmt.Errorf("bad cluster size %q (want a positive processor count)", p)
-		}
-		sizes = append(sizes, m)
-	}
-	if len(sizes) == 0 {
-		return nil, fmt.Errorf("-clusters lists no cluster sizes")
-	}
-	return sizes, nil
-}
-
-func buildPolicy(name string, interval, workTarget, maxDelay float64) (bicriteria.ClusterBatchPolicy, error) {
-	switch name {
-	case "idle":
-		return bicriteria.BatchOnIdle(), nil
-	case "interval":
-		return bicriteria.FixedIntervalPolicy(interval)
-	case "adaptive":
-		return bicriteria.AdaptiveBacklogPolicy(workTarget, maxDelay)
-	}
-	return nil, fmt.Errorf("unknown batching policy %q (want idle, interval or adaptive)", name)
-}
-
-func buildObjective(name string, alpha float64) (bicriteria.ClusterObjective, error) {
-	switch name {
-	case "makespan":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveMakespan}, nil
-	case "minsum":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveWeightedCompletion}, nil
-	case "combined":
-		return bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveCombined, Alpha: alpha}, nil
-	}
-	return bicriteria.ClusterObjective{}, fmt.Errorf("unknown objective %q (want makespan, minsum or combined)", name)
-}
-
-func printFinal(out io.Writer, rep *bicriteria.ServeFinalReport) {
-	met := rep.Metrics
-	fmt.Fprintf(out, "final report: %d jobs drained at virtual time %.2f (policy %s)\n",
-		rep.Jobs, rep.VirtualNow, rep.Policy)
-	fmt.Fprintf(out, "  grid makespan         %.2f\n", met.Makespan)
-	fmt.Fprintf(out, "  weighted completion   %.2f\n", met.WeightedCompletion)
-	fmt.Fprintf(out, "  mean stretch          %.2f (p95 %.2f, p99 %.2f)\n",
-		met.MeanStretch, met.StretchP95, met.StretchP99)
-	fmt.Fprintf(out, "  grid utilization      %.1f%%\n", 100*met.Utilization)
-	for _, pc := range met.PerCluster {
-		fmt.Fprintf(out, "  cluster %d  m=%-4d jobs=%-4d batches=%-3d makespan=%8.2f  util=%5.1f%%\n",
-			pc.Index, pc.M, pc.Jobs, pc.Batches, pc.Makespan, 100*pc.Utilization)
-	}
-}
+func parseSizes(s string) ([]int, error) { return cliutil.ParseSizes(s) }

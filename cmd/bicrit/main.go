@@ -1,0 +1,62 @@
+// Command bicrit is the unified scenario CLI: one binary that consumes
+// scenario files — the single declarative spec of the bicriteria library
+// — and drives every layer of the stack with them.
+//
+// Subcommands:
+//
+//   - run: replay a scenario offline through its compiled engine (the
+//     cluster engine for single topology, the grid federation for grid)
+//     and print the standard report. Byte-identical to what the legacy
+//     bicrit-cluster / bicrit-grid shims print for the equivalent flags.
+//
+//     bicrit run -v scenario.json
+//     bicrit run -json report.json -csv clusters.csv scenario.json
+//
+//   - serve: run the scenario as a live scheduler service (the serve
+//     layer's HTTP API), using the scenario's optional "service" section
+//     for pacing, rate limiting and snapshots.
+//
+//     bicrit serve -addr :8080 scenario.json
+//
+//   - gen: write a scenario file from flags — the migration path from
+//     the legacy flag soup to scenario files.
+//
+//     bicrit gen -topology grid -clusters 64,32,16 -n 300 -rate 6 -o scenario.json
+//
+// Scenario files are versioned JSON; unknown fields and versions are
+// rejected at load time. See the README's "One scenario file, every
+// layer" walkthrough.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := dispatch(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bicrit:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bicrit <run|serve|gen> [flags] — see 'bicrit <cmd> -h'")
+	}
+	switch args[0] {
+	case "run":
+		return runCmd(args[1:], os.Stdout)
+	case "serve":
+		return serveCmd(args[1:], os.Stdout, nil, nil)
+	case "gen":
+		return genCmd(args[1:], os.Stdout)
+	case "-h", "-help", "--help", "help":
+		fmt.Println("usage: bicrit <run|serve|gen> [flags]")
+		fmt.Println("  run    replay a scenario file offline and print the report")
+		fmt.Println("  serve  run a scenario file as a live scheduler service")
+		fmt.Println("  gen    write a scenario file from flags")
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q (want run, serve or gen)", args[0])
+}

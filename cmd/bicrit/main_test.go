@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bicriteria"
+)
+
+// writeScenario saves a scenario into a temp file and returns the path.
+func writeScenario(t *testing.T, s bicriteria.Scenario) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := bicriteria.SaveScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// legacyGolden reads a golden file pinned by one of the legacy CLIs.
+func legacyGolden(t *testing.T, cli, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", cli, "testdata", name))
+	if err != nil {
+		t.Fatalf("missing legacy golden (run go test ./cmd/... -update): %v", err)
+	}
+	return data
+}
+
+// TestRunMatchesClusterGolden pins the acceptance contract: `bicrit run`
+// on the scenario equivalent of the bicrit-cluster golden flags
+// reproduces the legacy report bytes exactly.
+func TestRunMatchesClusterGolden(t *testing.T) {
+	// Equivalent of: -m 32 -n 60 -rate 3 -seed 5 -noise 0.2
+	//   -policy adaptive -objective combined -reserve 8:10:30 -v
+	path := writeScenario(t, bicriteria.Scenario{
+		Seed:     5,
+		Topology: bicriteria.TopologySingle,
+		Clusters: []bicriteria.ScenarioCluster{{
+			Machines:     32,
+			Reservations: []bicriteria.ScenarioReservation{{Procs: 8, Start: 10, End: 30}},
+		}},
+		Workload:  bicriteria.ScenarioWorkload{Kind: "mixed", Jobs: 60},
+		Arrivals:  bicriteria.ScenarioArrivals{Rate: 3},
+		Batch:     bicriteria.ScenarioBatch{Policy: "adaptive"},
+		Objective: bicriteria.ScenarioObjective{Kind: "combined"},
+		Noise:     0.2,
+	})
+	var buf bytes.Buffer
+	if err := runCmd([]string{"-v", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := legacyGolden(t, "bicrit-cluster", "report.golden")
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("bicrit run drifted from the legacy cluster golden\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRunMatchesClusterFaultsGolden does the same for the faulted
+// cluster golden (explicit fault seed, like the shim translation).
+func TestRunMatchesClusterFaultsGolden(t *testing.T) {
+	// Equivalent of: -m 16 -n 80 -rate 8 -seed 3 -fault-mtbf 10
+	//   -fault-repair 4 -replan checkpoint -v
+	path := writeScenario(t, bicriteria.Scenario{
+		Seed:     3,
+		Topology: bicriteria.TopologySingle,
+		Clusters: []bicriteria.ScenarioCluster{{Machines: 16}},
+		Workload: bicriteria.ScenarioWorkload{Kind: "mixed", Jobs: 80},
+		Arrivals: bicriteria.ScenarioArrivals{Rate: 8},
+		Faults: &bicriteria.ScenarioFaults{
+			Seed:   3, // the legacy default: fault seed = stream seed
+			MTBF:   10,
+			Repair: 4,
+			Replan: "checkpoint",
+		},
+	})
+	var buf bytes.Buffer
+	if err := runCmd([]string{"-v", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := legacyGolden(t, "bicrit-cluster", "report_faults.golden")
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("bicrit run drifted from the legacy faulted cluster golden\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRunMatchesGridGoldens pins the grid equivalence for all three
+// artifacts: text report, JSON export and CSV export.
+func TestRunMatchesGridGoldens(t *testing.T) {
+	// Equivalent of: -clusters 16,8,8 -n 60 -rate 5 -seed 2 -noise 0.2
+	//   -admit 30 -routing least-backlog -json ... -csv ...
+	path := writeScenario(t, bicriteria.Scenario{
+		Seed:     2,
+		Topology: bicriteria.TopologyGrid,
+		Clusters: []bicriteria.ScenarioCluster{{Machines: 16}, {Machines: 8}, {Machines: 8}},
+		Workload: bicriteria.ScenarioWorkload{Kind: "mixed", Jobs: 60},
+		Arrivals: bicriteria.ScenarioArrivals{Rate: 5, Interarrival: "exponential"},
+		Routing:  bicriteria.ScenarioRouting{Policy: "least-backlog", AdmitBacklog: 30},
+		Noise:    0.2,
+	})
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	csvPath := filepath.Join(dir, "clusters.csv")
+	var buf bytes.Buffer
+	if err := runCmd([]string{"-json", jsonPath, "-csv", csvPath, path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := legacyGolden(t, "bicrit-grid", "report.golden"); !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("text report drifted from the legacy grid golden\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	gotJSON, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := legacyGolden(t, "bicrit-grid", "report.json.golden"); !bytes.Equal(gotJSON, want) {
+		t.Fatal("JSON export drifted from the legacy grid golden")
+	}
+	gotCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := legacyGolden(t, "bicrit-grid", "report.csv.golden"); !bytes.Equal(gotCSV, want) {
+		t.Fatal("CSV export drifted from the legacy grid golden")
+	}
+}
+
+// TestGenRunPipeline generates a scenario file with `bicrit gen` and
+// replays it with `bicrit run`.
+func TestGenRunPipeline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scn.json")
+	var genOut bytes.Buffer
+	if err := genCmd([]string{"-topology", "grid", "-clusters", "16,8", "-n", "25",
+		"-rate", "5", "-seed", "4", "-noise", "0.1", "-o", path}, &genOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(genOut.String(), "wrote grid scenario") {
+		t.Fatalf("unexpected gen output: %s", genOut.String())
+	}
+	var runOut bytes.Buffer
+	if err := runCmd([]string{path}, &runOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"routed 25 jobs", "grid makespan", "per-cluster:"} {
+		if !strings.Contains(runOut.String(), want) {
+			t.Fatalf("missing %q in run output:\n%s", want, runOut.String())
+		}
+	}
+	// Determinism: the same scenario file replays identically.
+	var again bytes.Buffer
+	if err := runCmd([]string{path}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if runOut.String() != again.String() {
+		t.Fatal("two runs of one scenario file differ")
+	}
+}
+
+// TestGenRejectsBadFlags pins the eager validation of generated files.
+func TestGenRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-clusters", ""},
+		{"-clusters", "16,zero"},
+		{"-kind", "nonsense"},
+		{"-rate", "0"},
+		{"-batch", "cron"},
+		{"-objective", "latency"},
+		{"-routing", "dice", "-clusters", "16,8"},
+		{"-noise", "1.5"},
+	} {
+		if err := genCmd(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunRejectsBadInput pins run's file handling.
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := runCmd([]string{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing scenario argument accepted")
+	}
+	if err := runCmd([]string{filepath.Join(t.TempDir(), "absent.json")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("absent scenario file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 1, "bogus": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCmd([]string{bad}, &bytes.Buffer{}); err == nil {
+		t.Fatal("scenario with unknown fields accepted")
+	}
+}
+
+// TestServeCmdSmokes boots `bicrit serve` on an ephemeral port from a
+// scenario file with a service section, submits a job over HTTP and
+// drains.
+func TestServeCmdSmokes(t *testing.T) {
+	path := writeScenario(t, bicriteria.Scenario{
+		Name:     "serve-smoke",
+		Seed:     1,
+		Topology: bicriteria.TopologyGrid,
+		Clusters: []bicriteria.ScenarioCluster{{Machines: 8}, {Machines: 4}},
+		Workload: bicriteria.ScenarioWorkload{Jobs: 1},
+		Arrivals: bicriteria.ScenarioArrivals{Rate: 1},
+		Service:  &bicriteria.ScenarioService{Speedup: 1000},
+	})
+	bound := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	var buf safeBuffer
+	go func() {
+		done <- serveCmd([]string{"-addr", "127.0.0.1:0", path}, &buf, bound, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-bound:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never bound")
+	}
+	base := "http://" + addr
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"id": 1, "weight": 2, "times": [30, 18]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never finished")
+	}
+	got := buf.String()
+	for _, want := range []string{`scenario "serve-smoke"`, "draining...", "final report: 1 jobs"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in output:\n%s", want, got)
+		}
+	}
+}
+
+// safeBuffer synchronizes writes from the serve goroutine with the
+// test's final read.
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestGenFaultedServiceNeedsHorizon pins the review fix: a scenario with
+// both fault and service sections is only written when it can actually
+// be served, which needs an explicit fault horizon.
+func TestGenFaultedServiceNeedsHorizon(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scn.json")
+	base := []string{"-clusters", "16,8", "-n", "40", "-rate", "5",
+		"-fault-mtbf", "20", "-speedup", "60", "-o", path}
+	if err := genCmd(base, &bytes.Buffer{}); err == nil {
+		t.Fatal("faulted service scenario without a horizon accepted")
+	}
+	withHorizon := append(append([]string(nil), base...), "-fault-horizon", "500")
+	if err := genCmd(withHorizon, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	scn, err := bicriteria.LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bicriteria.ScenarioServeConfig(scn); err != nil {
+		t.Fatalf("generated scenario is not servable: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"bicriteria"
+	"bicriteria/cmd/internal/cliutil"
+)
+
+// runCmd compiles and replays one scenario file, printing the standard
+// report (and optional JSON/CSV exports for grid scenarios).
+func runCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bicrit run", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "print one line per batch (single topology) or routing decision (grid)")
+	sequential := fs.Bool("sequential", false, "force the goroutine-free replay path (overrides the scenario)")
+	jsonPath := fs.String("json", "", "write the full grid report as JSON (grid topology)")
+	csvPath := fs.String("csv", "", "write the per-cluster summary table as CSV (grid topology)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bicrit run [flags] scenario.json")
+	}
+	scn, err := bicriteria.LoadScenario(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *sequential {
+		scn.Sequential = true
+	}
+
+	runner, err := bicriteria.Compile(scn)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		// The verbose stream matches the legacy CLIs: batch lines for the
+		// single topology, routing decisions for the grid.
+		if runner.Topology() == bicriteria.TopologySingle {
+			runner.Observe(bicriteria.ScenarioObserver{
+				Batch: func(_ int, br bicriteria.ClusterBatchReport) {
+					fmt.Fprint(out, bicriteria.FormatScenarioBatchLine(br))
+				},
+			})
+		} else {
+			runner.Observe(bicriteria.ScenarioObserver{
+				Decision: func(d bicriteria.GridDecision) {
+					fmt.Fprint(out, bicriteria.FormatScenarioDecisionLine(d))
+				},
+			})
+		}
+	}
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	if err := bicriteria.WriteScenarioReport(out, runner.Info(), rep); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		if err := cliutil.WriteFile(*jsonPath, func(w io.Writer) error {
+			return bicriteria.WriteScenarioReportJSON(w, rep)
+		}); err != nil {
+			return err
+		}
+	}
+	if *csvPath != "" {
+		if err := cliutil.WriteFile(*csvPath, func(w io.Writer) error {
+			return bicriteria.WriteScenarioReportCSV(w, runner.Info(), rep)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bicriteria"
+)
+
+// serveCmd runs one scenario file as a live scheduler service. The bound
+// address is sent on bound when non-nil (tests use -addr with port 0);
+// a value on stop drains the service like SIGINT does.
+func serveCmd(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("bicrit serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address of the HTTP API")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bicrit serve [-addr :8080] scenario.json")
+	}
+	scn, err := bicriteria.LoadScenario(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg, err := bicriteria.ScenarioServeConfig(scn)
+	if err != nil {
+		return err
+	}
+	server, err := bicriteria.NewServeServer(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if bound != nil {
+		bound <- ln.Addr().String()
+	}
+	httpSrv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	name := scn.Name
+	if name == "" {
+		name = fs.Arg(0)
+	}
+	fmt.Fprintf(out, "bicrit serve: scenario %q listening on %s (%d clusters)\n",
+		name, ln.Addr(), len(cfg.Grid.Clusters))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	case <-stop:
+	}
+
+	fmt.Fprintln(out, "draining...")
+	rep, err := server.Drain()
+	if err != nil {
+		httpSrv.Close()
+		return err
+	}
+	bicriteria.WriteServeFinalReport(out, rep)
+	return httpSrv.Close()
+}

@@ -1,0 +1,81 @@
+// Package cliutil holds the few helpers every bicrit binary shares, so
+// the flag shims and the unified scenario CLI cannot drift apart.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseSizes parses a comma-separated -clusters flag into shard
+// processor counts.
+func ParseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		m, err := strconv.Atoi(p)
+		if err != nil || m < 1 {
+			return nil, fmt.Errorf("bad cluster size %q (want a positive processor count)", p)
+		}
+		sizes = append(sizes, m)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-clusters lists no cluster sizes")
+	}
+	return sizes, nil
+}
+
+// WriteFile creates path and streams the render into it.
+func WriteFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RejectInexpressibleZeros errors on explicitly-set zero flag values the
+// scenario spec cannot express: the spec's zero means "the default"
+// (interval 25, work-factor 4, max-delay 50, alpha 0.5), so a literal
+// `-alpha 0` would silently run a different experiment than the legacy
+// binaries did. Failing loudly here keeps the flag-to-Scenario
+// translation honest. fs must already be parsed.
+func RejectInexpressibleZeros(fs *flag.FlagSet, batchPolicy, objective string) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	check := func(name string, relevant bool, hint string) error {
+		f := fs.Lookup(name)
+		if f == nil || !set[name] || !relevant {
+			return nil
+		}
+		if v, err := strconv.ParseFloat(f.Value.String(), 64); err == nil && v == 0 {
+			return fmt.Errorf("-%s 0 cannot be expressed in a scenario (0 selects the default); %s", name, hint)
+		}
+		return nil
+	}
+	if err := check("interval", batchPolicy == "interval", "pass a positive period"); err != nil {
+		return err
+	}
+	if err := check("work-factor", batchPolicy == "adaptive", "pass a positive factor"); err != nil {
+		return err
+	}
+	if err := check("max-delay", batchPolicy == "adaptive", "pass a positive delay"); err != nil {
+		return err
+	}
+	if err := check("alpha", objective == "combined", "use -objective minsum for a pure weighted-completion commit, or a positive alpha"); err != nil {
+		return err
+	}
+	return nil
+}

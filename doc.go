@@ -44,9 +44,26 @@
 // bit-identical to sequential ones — invariants the property, golden and
 // determinism stress tests pin permanently. See examples/faults.
 //
+// The scenario layer (internal/scenario, exported as the Scenario*
+// identifiers) is the composable front door over all of the above: one
+// versioned, declarative Scenario spec — workload and arrivals, topology
+// (single cluster or grid), batch and routing policies, objectives,
+// faults, replanning and service pacing — that Compile turns into a
+// Runner for whichever engine the topology needs. Runners accept a
+// context (cancellation threads into every batch loop), stream batch,
+// routing, kill and migration events through an Observer, and return one
+// unified Report. Scenarios round-trip through versioned JSON
+// (Save/LoadScenario, unknown fields rejected), the cmd/bicrit CLI
+// consumes scenario files directly (run | serve | gen), and the legacy
+// CLIs are thin flag-to-Scenario shims whose outputs the golden tests pin
+// byte for byte. Configuration errors everywhere are *ValidationError
+// values naming the offending field path ("clusters[2].machines"), raised
+// eagerly — before any goroutine spawns. See examples/scenario.
+//
 // The root package is a thin facade over the internal packages: it exposes
 // the task and schedule model, the DEMT scheduler, the baselines, the lower
-// bounds, the workload generators and the simulator under one import path.
+// bounds, the workload generators, the simulator and the scenario system
+// under one import path.
 //
 // # Quick start
 //

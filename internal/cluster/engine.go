@@ -21,6 +21,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,6 +34,7 @@ import (
 	"bicriteria/internal/reservation"
 	"bicriteria/internal/schedule"
 	"bicriteria/internal/sim"
+	"bicriteria/internal/validate"
 	"bicriteria/internal/workload"
 )
 
@@ -135,49 +137,51 @@ type Engine struct {
 	blocked [][]int
 }
 
-// New validates the configuration and builds an engine.
+// New validates the configuration eagerly and builds an engine. Bad
+// configurations fail here — before any portfolio goroutine spawns — with
+// a validate.Error naming the offending field path.
 func New(cfg Config) (*Engine, error) {
 	if cfg.M < 1 {
-		return nil, fmt.Errorf("cluster: machine needs at least one processor")
+		return nil, validate.Errorf("m", "machine needs at least one processor, got %d", cfg.M)
 	}
 	if len(cfg.Portfolio) == 0 {
 		cfg.Portfolio = DefaultPortfolio(nil)
 	}
 	names := make(map[string]bool, len(cfg.Portfolio))
-	for _, a := range cfg.Portfolio {
+	for i, a := range cfg.Portfolio {
 		if a.Name == "" || a.Run == nil {
-			return nil, fmt.Errorf("cluster: portfolio algorithms need a name and a Run function")
+			return nil, validate.Errorf(validate.Index("portfolio", i), "portfolio algorithms need a name and a Run function")
 		}
 		if names[a.Name] {
-			return nil, fmt.Errorf("cluster: duplicate portfolio algorithm %q", a.Name)
+			return nil, validate.Errorf(validate.Index("portfolio", i), "duplicate portfolio algorithm %q", a.Name)
 		}
 		names[a.Name] = true
 	}
 	if err := cfg.Objective.Validate(); err != nil {
-		return nil, err
+		return nil, validate.Prefix("objective", err)
 	}
 	if cfg.Policy == nil {
 		cfg.Policy = BatchOnIdle()
 	}
-	for _, r := range cfg.Reservations {
+	for i, r := range cfg.Reservations {
 		if err := r.Validate(cfg.M); err != nil {
-			return nil, err
+			return nil, validate.Prefix(validate.Index("reservations", i), err)
 		}
 	}
 	if err := cfg.Replan.Validate(); err != nil {
-		return nil, err
+		return nil, validate.Prefix("replan", err)
 	}
 	if cfg.MaxRetries < 0 {
-		return nil, fmt.Errorf("cluster: negative max retries %d", cfg.MaxRetries)
+		return nil, validate.Errorf("max_retries", "negative max retries %d", cfg.MaxRetries)
 	}
-	for _, w := range cfg.Outages {
+	for i, w := range cfg.Outages {
 		if math.IsNaN(w.Start) || math.IsNaN(w.End) || math.IsInf(w.Start, 0) || math.IsInf(w.End, 0) ||
 			w.Start < 0 || w.End <= w.Start {
-			return nil, fmt.Errorf("cluster: outage window [%g, %g) is invalid", w.Start, w.End)
+			return nil, validate.Errorf(validate.Index("outages", i), "outage window [%g, %g) is invalid", w.Start, w.End)
 		}
 		for _, p := range w.Procs {
 			if p < 0 || p >= cfg.M {
-				return nil, fmt.Errorf("cluster: outage window uses processor %d outside the %d-processor machine", p, cfg.M)
+				return nil, validate.Errorf(validate.Index("outages", i), "outage window uses processor %d outside the %d-processor machine", p, cfg.M)
 			}
 		}
 	}
@@ -197,6 +201,16 @@ type jobInfo struct {
 
 // Run replays the job stream through the engine.
 func (e *Engine) Run(jobs []online.Job) (*Report, error) {
+	return e.RunContext(context.Background(), jobs)
+}
+
+// RunContext replays the job stream through the engine, checking the
+// context between batches: a cancellation aborts the replay before the
+// next batch fires and returns the context's error (wrapped, so
+// errors.Is(err, context.Canceled) holds). The partial report is
+// discarded — replays are cheap and deterministic, rerun to completion
+// instead.
+func (e *Engine) RunContext(ctx context.Context, jobs []online.Job) (*Report, error) {
 	infos := make(map[int]jobInfo, len(jobs))
 	for i := range jobs {
 		j := &jobs[i]
@@ -243,6 +257,9 @@ func (e *Engine) Run(jobs []online.Job) (*Report, error) {
 	var pending []online.Job
 	batchIndex := 0
 	for next < len(sorted) || len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cluster: replay aborted: %w", err)
+		}
 		for next < len(sorted) && sorted[next].Release <= now+moldable.Eps {
 			pending = append(pending, sorted[next])
 			next++

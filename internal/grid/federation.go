@@ -23,6 +23,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,6 +33,7 @@ import (
 	"bicriteria/internal/faults"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
+	"bicriteria/internal/validate"
 )
 
 // ClusterSpec configures one shard of the federation. The zero values of
@@ -95,6 +97,12 @@ type Config struct {
 	// OnDecision, when non-nil, receives every routing decision in stream
 	// order as it is made.
 	OnDecision func(Decision)
+	// OnBatch, when non-nil, receives every shard engine's batch report as
+	// soon as the batch completes, tagged with the shard index. On the
+	// concurrent path the shards call it from their own goroutines, so
+	// implementations must be safe for concurrent use (the scenario layer
+	// serializes with a mutex). Nil leaves the replay untouched.
+	OnBatch func(cluster int, br cluster.BatchReport)
 }
 
 // Report is the outcome of a grid run.
@@ -116,20 +124,22 @@ type Federation struct {
 	engines []*cluster.Engine
 }
 
-// New validates the configuration and builds the federation, including
-// every shard engine.
+// New validates the configuration eagerly and builds the federation,
+// including every shard engine. Bad configurations fail here — before any
+// shard goroutine spawns — with a validate.Error naming the offending
+// field path ("clusters[2].m", "admit_backlog", ...).
 func New(cfg Config) (*Federation, error) {
 	if len(cfg.Clusters) == 0 {
-		return nil, fmt.Errorf("grid: federation needs at least one cluster")
+		return nil, validate.Errorf("clusters", "federation needs at least one cluster")
 	}
 	if cfg.QueueDepth < 0 {
-		return nil, fmt.Errorf("grid: negative queue depth %d", cfg.QueueDepth)
+		return nil, validate.Errorf("queue_depth", "negative queue depth %d", cfg.QueueDepth)
 	}
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
 	if cfg.AdmitBacklog < 0 || math.IsNaN(cfg.AdmitBacklog) || math.IsInf(cfg.AdmitBacklog, 0) {
-		return nil, fmt.Errorf("grid: admission backlog limit must be non-negative and finite, got %g", cfg.AdmitBacklog)
+		return nil, validate.Errorf("admit_backlog", "admission backlog limit must be non-negative and finite, got %g", cfg.AdmitBacklog)
 	}
 	if cfg.Routing == nil {
 		cfg.Routing = LeastBacklog()
@@ -139,11 +149,11 @@ func New(cfg Config) (*Federation, error) {
 		sizes[i] = spec.M
 	}
 	if err := cfg.Faults.Validate(sizes); err != nil {
-		return nil, err
+		return nil, validate.Prefix("faults", err)
 	}
 	f := &Federation{cfg: cfg, engines: make([]*cluster.Engine, len(cfg.Clusters))}
 	for i, spec := range cfg.Clusters {
-		eng, err := cluster.New(cluster.Config{
+		ccfg := cluster.Config{
 			M:            spec.M,
 			Portfolio:    spec.Portfolio,
 			Objective:    spec.Objective,
@@ -154,9 +164,15 @@ func New(cfg Config) (*Federation, error) {
 			Outages:      cfg.Faults.ClusterWindows(i, spec.M),
 			Replan:       cfg.Replan,
 			MaxRetries:   cfg.MaxRetries,
-		})
+		}
+		if cfg.OnBatch != nil {
+			shard := i
+			onBatch := cfg.OnBatch
+			ccfg.OnBatch = func(br cluster.BatchReport) { onBatch(shard, br) }
+		}
+		eng, err := cluster.New(ccfg)
 		if err != nil {
-			return nil, fmt.Errorf("grid: cluster %d: %w", i, err)
+			return nil, validate.Prefix(validate.Index("clusters", i), err)
 		}
 		f.engines[i] = eng
 	}
@@ -173,6 +189,15 @@ type resettable interface{ reset() }
 // aggregates the grid metrics. The report is bit-identical between the
 // sequential and the concurrent path.
 func (f *Federation) Run(jobs []online.Job) (*Report, error) {
+	return f.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cancellation: the context is threaded into every
+// shard engine's replay loop, so cancelling it aborts the whole grid run
+// between batches — concurrent shards each observe the cancellation,
+// return promptly, and the WaitGroup join cannot deadlock. The returned
+// error wraps the context's (errors.Is(err, context.Canceled) holds).
+func (f *Federation) RunContext(ctx context.Context, jobs []online.Job) (*Report, error) {
 	seen := make(map[int]bool, len(jobs))
 	for i := range jobs {
 		j := &jobs[i]
@@ -215,9 +240,9 @@ func (f *Federation) Run(jobs []online.Job) (*Report, error) {
 	}
 	shards := shardStreams(len(f.engines), decisions, routed)
 	if f.cfg.Sequential {
-		err = f.runSequential(shards, report.Clusters)
+		err = f.runSequential(ctx, shards, report.Clusters)
 	} else {
-		err = f.runConcurrent(shards, report.Clusters)
+		err = f.runConcurrent(ctx, shards, report.Clusters)
 	}
 	if err != nil {
 		return nil, err
@@ -247,9 +272,9 @@ func shardStreams(n int, decisions []Decision, routed []online.Job) [][]online.J
 
 // runSequential is the goroutine-free path: replay the shards one after
 // the other.
-func (f *Federation) runSequential(shards [][]online.Job, out []*cluster.Report) error {
+func (f *Federation) runSequential(ctx context.Context, shards [][]online.Job, out []*cluster.Report) error {
 	for i, eng := range f.engines {
-		rep, err := eng.Run(shards[i])
+		rep, err := eng.RunContext(ctx, shards[i])
 		if err != nil {
 			return fmt.Errorf("grid: cluster %d: %w", i, err)
 		}
@@ -263,14 +288,14 @@ func (f *Federation) runSequential(shards [][]online.Job, out []*cluster.Report)
 // sub-stream before it can batch, and routing materialized the
 // sub-streams already, so there is nothing left to stream through
 // queues).
-func (f *Federation) runConcurrent(shards [][]online.Job, out []*cluster.Report) error {
+func (f *Federation) runConcurrent(ctx context.Context, shards [][]online.Job, out []*cluster.Report) error {
 	errs := make([]error, len(f.engines))
 	var wg sync.WaitGroup
 	for i := range f.engines {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rep, err := f.engines[i].Run(shards[i])
+			rep, err := f.engines[i].RunContext(ctx, shards[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("grid: cluster %d: %w", i, err)
 				return

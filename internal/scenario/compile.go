@@ -1,0 +1,657 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"bicriteria/internal/cluster"
+	"bicriteria/internal/core"
+	"bicriteria/internal/faults"
+	"bicriteria/internal/grid"
+	"bicriteria/internal/online"
+	"bicriteria/internal/reservation"
+	"bicriteria/internal/serve"
+	"bicriteria/internal/trace"
+	"bicriteria/internal/validate"
+	"bicriteria/internal/workload"
+)
+
+// Observer streams a run's events as they happen. Every field is
+// optional; nil callbacks are skipped. On a concurrent grid replay the
+// shard events are serialized by the runner, so callbacks never run
+// concurrently with each other.
+type Observer struct {
+	// Batch receives every committed batch, tagged with its cluster index
+	// (0 for the single topology).
+	Batch func(cluster int, br cluster.BatchReport)
+	// Decision receives every routing decision of a grid run in stream
+	// order.
+	Decision func(d grid.Decision)
+	// Kill receives every job killed by an outage: the cluster it died
+	// on, the batch it was running in, and its task ID.
+	Kill func(cluster, batch, taskID int)
+	// Migration receives the routing decisions that moved a job off a
+	// dark shard (a subset of Decision's stream, for callers that only
+	// care about migrations).
+	Migration func(d grid.Decision)
+}
+
+// Report is the unified outcome of a scenario run: a superset of the
+// cluster and grid reports. Exactly one of Cluster and Grid is non-nil,
+// matching the topology.
+type Report struct {
+	// Topology echoes the compiled scenario's topology.
+	Topology Topology
+	// Jobs is the number of jobs of the replayed stream.
+	Jobs int
+	// Cluster is the single-cluster engine report (single topology).
+	Cluster *cluster.Report
+	// Grid is the federation report (grid topology).
+	Grid *grid.Report
+}
+
+// Makespan returns the realized makespan of the run, whatever the
+// topology.
+func (r *Report) Makespan() float64 {
+	if r.Grid != nil {
+		return r.Grid.Metrics.Makespan
+	}
+	return r.Cluster.Metrics.Makespan
+}
+
+// WeightedCompletion returns the weighted sum of completion times.
+func (r *Report) WeightedCompletion() float64 {
+	if r.Grid != nil {
+		return r.Grid.Metrics.WeightedCompletion
+	}
+	return r.Cluster.Metrics.WeightedCompletion
+}
+
+// Utilization returns the realized machine utilization in [0, 1].
+func (r *Report) Utilization() float64 {
+	if r.Grid != nil {
+		return r.Grid.Metrics.Utilization
+	}
+	return r.Cluster.Metrics.Utilization
+}
+
+// MeanStretch returns the mean job stretch.
+func (r *Report) MeanStretch() float64 {
+	if r.Grid != nil {
+		return r.Grid.Metrics.MeanStretch
+	}
+	return r.Cluster.Metrics.MeanStretch
+}
+
+// Info describes what a scenario compiled to: the resolved facts the
+// report renderers need (policy names, plan sizes) without re-deriving
+// them from the spec.
+type Info struct {
+	// Topology and Sizes echo the compiled scenario.
+	Topology Topology
+	Sizes    []int
+	// Jobs is the size of the compiled job stream.
+	Jobs int
+	// BatchPolicy is the Name() of the (per-shard) batching policy and
+	// Objective the commit criterion's name.
+	BatchPolicy string
+	Objective   string
+	// Routing is the grid routing policy's name (grid topology).
+	Routing string
+	// Reservations counts the reservations of the single cluster.
+	Reservations int
+	// Outages counts the single cluster's fault windows; Plan is the full
+	// fault plan (nil without a faults section).
+	Outages int
+	Plan    *faults.Plan
+	// Replan is the replan policy kind's name ("restart"/"checkpoint").
+	Replan string
+}
+
+// Runner is a compiled scenario, ready to replay. Observe (optional)
+// must be called before Run; Run may be called repeatedly — every replay
+// is deterministic and starts from scratch.
+type Runner interface {
+	// Topology reports which engine the scenario compiled to.
+	Topology() Topology
+	// Info returns the compiled facts (policy names, stream size, plan).
+	Info() Info
+	// Observe installs the event callbacks of subsequent Runs.
+	Observe(Observer)
+	// Run replays the stream through the compiled engine. Cancelling the
+	// context aborts the replay between batches without deadlock;
+	// errors.Is(err, ctx.Err()) holds on the returned error.
+	Run(ctx context.Context) (*Report, error)
+}
+
+// Compile validates the scenario eagerly — every constructor runs before
+// any goroutine spawns, so a bad spec fails with a *ValidationError
+// naming the field path — loads or generates the job stream and the
+// fault plan, and returns the Runner of the scenario's topology.
+func Compile(s Scenario) (Runner, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	jobs, err := buildJobs(s)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := buildFaults(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Topology {
+	case TopologySingle:
+		cfg, err := clusterConfig(s, plan)
+		if err != nil {
+			return nil, err
+		}
+		// Eager validation: surface config errors now, not at Run.
+		if _, err := cluster.New(cfg); err != nil {
+			return nil, validate.Prefix("clusters[0]", err)
+		}
+		return &clusterRunner{scn: s, cfg: cfg, jobs: jobs, plan: plan}, nil
+	default:
+		cfg, err := gridConfig(s, plan)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := grid.New(cfg); err != nil {
+			return nil, err
+		}
+		return &gridRunner{scn: s, cfg: cfg, jobs: jobs, plan: plan}, nil
+	}
+}
+
+// ServeConfig compiles the scenario into a live-service configuration:
+// the grid section exactly as Compile builds it (a single cluster is a
+// grid with one shard), plus the pacing of the optional service section.
+func ServeConfig(s Scenario) (serve.Config, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return serve.Config{}, err
+	}
+	// The service ingests live submissions: a replayed stream would fight
+	// the front door for job IDs.
+	if !s.Arrivals.Generated() {
+		return serve.Config{}, validate.Errorf("arrivals", "a service scenario cannot replay a file or trace; submissions arrive over HTTP")
+	}
+	plan, err := buildFaults(s, nil)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	gcfg, err := gridConfig(s, plan)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	cfg := serve.Config{Grid: gcfg}
+	if svc := s.Service; svc != nil {
+		cfg.Speedup = svc.Speedup
+		cfg.SubmitRate = svc.SubmitRate
+		cfg.SubmitBurst = svc.SubmitBurst
+		cfg.AdmitBacklog = svc.AdmitBacklog
+		cfg.QueueShards = svc.QueueShards
+		cfg.QueueDepth = svc.QueueDepth
+		cfg.RefreshInterval = time.Duration(svc.RefreshSeconds * float64(time.Second))
+		cfg.SnapshotPath = svc.SnapshotPath
+		cfg.SnapshotInterval = time.Duration(svc.SnapshotSeconds * float64(time.Second))
+	}
+	return cfg, nil
+}
+
+// ---------------------------------------------------------------------------
+// Spec resolution: zero-means-default, matching the legacy CLI defaults
+// so flag shims are behaviour-preserving.
+// ---------------------------------------------------------------------------
+
+// Default knob values of the batching policies (the legacy CLI flag
+// defaults).
+const (
+	DefaultInterval   = 25
+	DefaultWorkFactor = 4
+	DefaultMaxDelay   = 50
+	DefaultAlpha      = 0.5
+)
+
+func parseWorkloadKind(kind string) (workload.Kind, error) {
+	if kind == "" {
+		kind = "mixed"
+	}
+	return workload.ParseKind(kind)
+}
+
+func parseDistribution(law string) (workload.Distribution, error) {
+	return workload.ParseDistribution(law)
+}
+
+func parseRoutingPolicy(policy string) (grid.RoutingPolicy, error) {
+	if policy == "" {
+		policy = "least-backlog"
+	}
+	return grid.ParsePolicy(policy)
+}
+
+// workloadSeed resolves the task-stream seed.
+func (s Scenario) workloadSeed() int64 {
+	if s.Workload.Seed != 0 {
+		return s.Workload.Seed
+	}
+	return s.Seed
+}
+
+// faultSeed resolves the fault-plan sub-seed: explicit when set,
+// otherwise derived from the master seed with FaultSeedSalt.
+func (s Scenario) faultSeed() int64 {
+	if s.Faults != nil && s.Faults.Seed != 0 {
+		return s.Faults.Seed
+	}
+	return s.Seed ^ FaultSeedSalt
+}
+
+// batchPolicy builds the batching policy of a machine of m processors.
+func (s Scenario) batchPolicy(m int) (cluster.BatchPolicy, error) {
+	interval, workFactor, maxDelay := s.Batch.Interval, s.Batch.WorkFactor, s.Batch.MaxDelay
+	if interval == 0 {
+		interval = DefaultInterval
+	}
+	if workFactor == 0 {
+		workFactor = DefaultWorkFactor
+	}
+	if maxDelay == 0 {
+		maxDelay = DefaultMaxDelay
+	}
+	switch s.Batch.Policy {
+	case "", "idle":
+		return cluster.BatchOnIdle(), nil
+	case "interval":
+		return cluster.FixedInterval(interval)
+	case "adaptive":
+		return cluster.AdaptiveBacklog(workFactor*float64(m), maxDelay)
+	}
+	return nil, validate.Errorf("batch.policy", "unknown batching policy %q", s.Batch.Policy)
+}
+
+// objective builds the commit objective.
+func (s Scenario) objective() (cluster.Objective, error) {
+	alpha := s.Objective.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	switch s.Objective.Kind {
+	case "", "makespan":
+		return cluster.Objective{Kind: cluster.ObjectiveMakespan}, nil
+	case "minsum":
+		return cluster.Objective{Kind: cluster.ObjectiveWeightedCompletion}, nil
+	case "combined":
+		return cluster.Objective{Kind: cluster.ObjectiveCombined, Alpha: alpha}, nil
+	}
+	return cluster.Objective{}, validate.Errorf("objective.kind", "unknown objective %q", s.Objective.Kind)
+}
+
+// replanPolicy builds the killed-job replan policy of the faults section.
+func (s Scenario) replanPolicy() (cluster.ReplanPolicy, error) {
+	if s.Faults == nil {
+		return cluster.ReplanPolicy{}, nil
+	}
+	kindName := s.Faults.Replan
+	if kindName == "" {
+		kindName = "restart"
+	}
+	kind, err := cluster.ParseReplanKind(kindName)
+	if err != nil {
+		return cluster.ReplanPolicy{}, validate.Errorf("faults.replan", "%v", err)
+	}
+	return cluster.ReplanPolicy{Kind: kind, Credit: s.Faults.CheckpointCredit}, nil
+}
+
+// perturb builds the runtime-noise function of cluster index i,
+// reproducing the exact legacy seed derivations: the single topology
+// perturbs with the raw seed (bicrit-cluster), the grid decorrelates the
+// shards with seed ^ (i+1)*0x9E3779B9 (bicrit-grid).
+func (s Scenario) perturb(i int) (func(taskID int, planned float64) float64, error) {
+	seed := s.Seed
+	if s.Topology == TopologyGrid {
+		seed = s.Seed ^ int64(i+1)*0x9E3779B9
+	}
+	fn, err := cluster.UniformNoise(s.Noise, seed)
+	if err != nil {
+		return nil, validate.Errorf("noise", "%v", err)
+	}
+	return fn, nil
+}
+
+// reservations converts one cluster's reservation specs.
+func (c Cluster) reservations() []reservation.Reservation {
+	if len(c.Reservations) == 0 {
+		return nil
+	}
+	out := make([]reservation.Reservation, len(c.Reservations))
+	for i, r := range c.Reservations {
+		out[i] = reservation.Reservation{Procs: r.Procs, Start: r.Start, End: r.End}
+	}
+	return out
+}
+
+// buildJobs loads or generates the job stream.
+func buildJobs(s Scenario) ([]online.Job, error) {
+	switch {
+	case s.Arrivals.Trace != "":
+		f, err := os.Open(s.Arrivals.Trace)
+		if err != nil {
+			return nil, validate.Errorf("arrivals.trace", "%v", err)
+		}
+		defer f.Close()
+		records, err := trace.Parse(f)
+		if err != nil {
+			return nil, validate.Errorf("arrivals.trace", "%v", err)
+		}
+		tasks := trace.ToTasks(records, s.MaxMachines(), nil)
+		releases := trace.Releases(records)
+		jobs := make([]online.Job, len(tasks))
+		for i, t := range tasks {
+			jobs[i] = online.Job{Task: t, Release: releases[t.ID]}
+		}
+		return jobs, nil
+	case s.Arrivals.File != "":
+		arrivals, _, err := workload.LoadArrivals(s.Arrivals.File)
+		if err != nil {
+			return nil, validate.Errorf("arrivals.file", "%v", err)
+		}
+		return cluster.JobsFromArrivals(arrivals), nil
+	default:
+		kind, err := parseWorkloadKind(s.Workload.Kind)
+		if err != nil {
+			return nil, validate.Errorf("workload.kind", "%v", err)
+		}
+		interarrival, err := parseDistribution(s.Arrivals.Interarrival)
+		if err != nil {
+			return nil, validate.Errorf("arrivals.interarrival", "%v", err)
+		}
+		runtimeTail, err := parseDistribution(s.Arrivals.RuntimeTail)
+		if err != nil {
+			return nil, validate.Errorf("arrivals.runtime_tail", "%v", err)
+		}
+		arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+			Workload: workload.Config{
+				Kind: kind,
+				M:    s.MaxMachines(),
+				N:    s.Workload.Jobs,
+				Seed: s.workloadSeed(),
+			},
+			Rate:              s.Arrivals.Rate,
+			BurstSize:         s.Arrivals.Burst,
+			Interarrival:      interarrival,
+			InterarrivalShape: s.Arrivals.InterarrivalShape,
+			RuntimeTail:       runtimeTail,
+			RuntimeTailShape:  s.Arrivals.RuntimeTailShape,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return cluster.JobsFromArrivals(arrivals), nil
+	}
+}
+
+// buildFaults generates the deterministic fault plan of the scenario, or
+// nil without an active faults section. The horizon, when unset, is
+// estimated from the stream exactly like the legacy CLIs
+// (faults.SuggestHorizon over the total processors); ServeConfig passes
+// nil jobs and therefore requires an explicit horizon.
+func buildFaults(s Scenario, jobs []online.Job) (*faults.Plan, error) {
+	if !s.Faults.Active() {
+		return nil, nil
+	}
+	cfg := faults.Config{
+		Seed:            s.faultSeed(),
+		Horizon:         s.Faults.Horizon,
+		Clusters:        s.Sizes(),
+		MTBF:            s.Faults.MTBF,
+		Shape:           s.Faults.Shape,
+		RepairMean:      s.Faults.Repair,
+		RepairSigma:     s.Faults.RepairSigma,
+		CorrelatedMTBF:  s.Faults.CorrelatedMTBF,
+		CorrelatedSize:  s.Faults.CorrelatedSize,
+		ShardMTBF:       s.Faults.ShardMTBF,
+		ShardRepairMean: s.Faults.ShardRepair,
+	}
+	if cfg.Horizon == 0 {
+		if jobs == nil {
+			return nil, validate.Errorf("faults.horizon", "a service scenario needs an explicit fault horizon (no finite stream to estimate one from)")
+		}
+		maxRelease, work := 0.0, 0.0
+		for i := range jobs {
+			if jobs[i].Release > maxRelease {
+				maxRelease = jobs[i].Release
+			}
+			w, _ := jobs[i].Task.MinWork()
+			work += w
+		}
+		procs := 0
+		for _, m := range cfg.Clusters {
+			procs += m
+		}
+		cfg.Horizon = faults.SuggestHorizon(maxRelease, work, procs)
+	}
+	plan, err := faults.Generate(cfg)
+	if err != nil {
+		return nil, validate.Prefix("faults", err)
+	}
+	return plan, nil
+}
+
+// clusterConfig assembles the single-topology engine configuration.
+func clusterConfig(s Scenario, plan *faults.Plan) (cluster.Config, error) {
+	m := s.Clusters[0].Machines
+	policy, err := s.batchPolicy(m)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	objective, err := s.objective()
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	perturb, err := s.perturb(0)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	cfg := cluster.Config{
+		M:            m,
+		Portfolio:    cluster.DefaultPortfolio(&core.Options{Seed: s.Seed}),
+		Objective:    objective,
+		Policy:       policy,
+		Reservations: s.Clusters[0].reservations(),
+		Perturb:      perturb,
+		Sequential:   s.Sequential,
+	}
+	if plan != nil {
+		cfg.Outages = plan.ClusterWindows(0, m)
+		replan, err := s.replanPolicy()
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		cfg.Replan = replan
+		cfg.MaxRetries = s.Faults.MaxRetries
+	}
+	return cfg, nil
+}
+
+// gridConfig assembles the grid-topology federation configuration.
+func gridConfig(s Scenario, plan *faults.Plan) (grid.Config, error) {
+	objective, err := s.objective()
+	if err != nil {
+		return grid.Config{}, err
+	}
+	routing, err := parseRoutingPolicy(s.Routing.Policy)
+	if err != nil {
+		return grid.Config{}, validate.Errorf("routing.policy", "%v", err)
+	}
+	specs := make([]grid.ClusterSpec, len(s.Clusters))
+	for i, c := range s.Clusters {
+		policy, err := s.batchPolicy(c.Machines)
+		if err != nil {
+			return grid.Config{}, err
+		}
+		perturb, err := s.perturb(i)
+		if err != nil {
+			return grid.Config{}, err
+		}
+		specs[i] = grid.ClusterSpec{
+			M:            c.Machines,
+			Portfolio:    cluster.DefaultPortfolio(&core.Options{Seed: s.Seed}),
+			Objective:    objective,
+			Policy:       policy,
+			Reservations: c.reservations(),
+			Perturb:      perturb,
+		}
+	}
+	cfg := grid.Config{
+		Clusters:     specs,
+		Routing:      routing,
+		QueueDepth:   s.Routing.QueueDepth,
+		AdmitBacklog: s.Routing.AdmitBacklog,
+		Sequential:   s.Sequential,
+	}
+	if plan != nil {
+		cfg.Faults = plan
+		replan, err := s.replanPolicy()
+		if err != nil {
+			return grid.Config{}, err
+		}
+		cfg.Replan = replan
+		cfg.MaxRetries = s.Faults.MaxRetries
+	}
+	return cfg, nil
+}
+
+// ---------------------------------------------------------------------------
+// Runners
+// ---------------------------------------------------------------------------
+
+// clusterRunner replays a single-topology scenario.
+type clusterRunner struct {
+	scn  Scenario
+	cfg  cluster.Config
+	jobs []online.Job
+	plan *faults.Plan
+	obs  Observer
+}
+
+func (r *clusterRunner) Topology() Topology { return TopologySingle }
+
+func (r *clusterRunner) Observe(obs Observer) { r.obs = obs }
+
+func (r *clusterRunner) Info() Info {
+	return Info{
+		Topology:     TopologySingle,
+		Sizes:        r.scn.Sizes(),
+		Jobs:         len(r.jobs),
+		BatchPolicy:  r.cfg.Policy.Name(),
+		Objective:    r.cfg.Objective.Kind.String(),
+		Reservations: len(r.cfg.Reservations),
+		Outages:      len(r.cfg.Outages),
+		Plan:         r.plan,
+		Replan:       r.cfg.Replan.Kind.String(),
+	}
+}
+
+func (r *clusterRunner) Run(ctx context.Context) (*Report, error) {
+	cfg := r.cfg
+	if obs := r.obs; obs.Batch != nil || obs.Kill != nil {
+		cfg.OnBatch = func(br cluster.BatchReport) {
+			if obs.Batch != nil {
+				obs.Batch(0, br)
+			}
+			if obs.Kill != nil {
+				for _, id := range br.Killed {
+					obs.Kill(0, br.Index, id)
+				}
+			}
+		}
+	}
+	eng, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.RunContext(ctx, r.jobs)
+	if err != nil {
+		return nil, err
+	}
+	// The legacy CLI cross-checks the realized trace against the
+	// reservations after every run; keep that safety net.
+	if len(cfg.Reservations) > 0 {
+		if err := reservation.ValidateAgainstReservations(rep.Schedule, cfg.Reservations, rep.Blocked); err != nil {
+			return nil, fmt.Errorf("realized trace violates a reservation: %w", err)
+		}
+	}
+	return &Report{Topology: TopologySingle, Jobs: len(r.jobs), Cluster: rep}, nil
+}
+
+// gridRunner replays a grid-topology scenario.
+type gridRunner struct {
+	scn  Scenario
+	cfg  grid.Config
+	jobs []online.Job
+	plan *faults.Plan
+	obs  Observer
+}
+
+func (r *gridRunner) Topology() Topology { return TopologyGrid }
+
+func (r *gridRunner) Observe(obs Observer) { r.obs = obs }
+
+func (r *gridRunner) Info() Info {
+	return Info{
+		Topology:    TopologyGrid,
+		Sizes:       r.scn.Sizes(),
+		Jobs:        len(r.jobs),
+		BatchPolicy: r.cfg.Clusters[0].Policy.Name(),
+		Objective:   r.cfg.Clusters[0].Objective.Kind.String(),
+		Routing:     r.cfg.Routing.Name(),
+		Plan:        r.plan,
+		Replan:      r.cfg.Replan.Kind.String(),
+	}
+}
+
+func (r *gridRunner) Run(ctx context.Context) (*Report, error) {
+	cfg := r.cfg
+	obs := r.obs
+	if obs.Decision != nil || obs.Migration != nil {
+		cfg.OnDecision = func(d grid.Decision) {
+			if obs.Decision != nil {
+				obs.Decision(d)
+			}
+			if obs.Migration != nil && d.Migrated {
+				obs.Migration(d)
+			}
+		}
+	}
+	if obs.Batch != nil || obs.Kill != nil {
+		// Shards report concurrently; serialize the observer.
+		var mu sync.Mutex
+		cfg.OnBatch = func(shard int, br cluster.BatchReport) {
+			mu.Lock()
+			defer mu.Unlock()
+			if obs.Batch != nil {
+				obs.Batch(shard, br)
+			}
+			if obs.Kill != nil {
+				for _, id := range br.Killed {
+					obs.Kill(shard, br.Index, id)
+				}
+			}
+		}
+	}
+	fed, err := grid.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := fed.RunContext(ctx, r.jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Topology: TopologyGrid, Jobs: len(r.jobs), Grid: rep}, nil
+}

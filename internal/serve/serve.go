@@ -35,6 +35,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -43,6 +45,7 @@ import (
 	"bicriteria/internal/grid"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/online"
+	"bicriteria/internal/validate"
 )
 
 // Defaults of the optional Config knobs.
@@ -201,6 +204,12 @@ type Server struct {
 	stopOnce sync.Once
 	loopWG   sync.WaitGroup
 
+	// loopCtx is cancelled together with stopCh: the refresher threads it
+	// into the federation replay, so an in-flight refresh aborts between
+	// batches instead of making a drain wait for a full replay.
+	loopCtx    context.Context
+	loopCancel context.CancelFunc
+
 	drainOnce sync.Once
 	final     *FinalReport
 	drainErr  error
@@ -212,19 +221,22 @@ type Server struct {
 // when NewServer returns; stop it with Drain.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.Speedup < 0 || math.IsNaN(cfg.Speedup) || math.IsInf(cfg.Speedup, 0) {
-		return nil, fmt.Errorf("serve: speedup must be non-negative and finite, got %g", cfg.Speedup)
+		return nil, validate.Errorf("speedup", "speedup must be non-negative and finite, got %g", cfg.Speedup)
 	}
 	if cfg.Speedup == 0 {
 		cfg.Speedup = 1
 	}
 	if cfg.SubmitRate < 0 || math.IsNaN(cfg.SubmitRate) || math.IsInf(cfg.SubmitRate, 0) {
-		return nil, fmt.Errorf("serve: submit rate must be non-negative and finite, got %g", cfg.SubmitRate)
+		return nil, validate.Errorf("submit_rate", "submit rate must be non-negative and finite, got %g", cfg.SubmitRate)
 	}
 	if cfg.AdmitBacklog < 0 || math.IsNaN(cfg.AdmitBacklog) || math.IsInf(cfg.AdmitBacklog, 0) {
-		return nil, fmt.Errorf("serve: admission backlog limit must be non-negative and finite, got %g", cfg.AdmitBacklog)
+		return nil, validate.Errorf("admit_backlog", "admission backlog limit must be non-negative and finite, got %g", cfg.AdmitBacklog)
 	}
-	if cfg.QueueShards < 0 || cfg.QueueDepth < 0 {
-		return nil, fmt.Errorf("serve: queue shards and depth must be non-negative")
+	if cfg.QueueShards < 0 {
+		return nil, validate.Errorf("queue_shards", "queue shards must be non-negative, got %d", cfg.QueueShards)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, validate.Errorf("queue_depth", "queue depth must be non-negative, got %d", cfg.QueueDepth)
 	}
 	if cfg.QueueShards == 0 {
 		cfg.QueueShards = DefaultQueueShards
@@ -238,24 +250,28 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.SnapshotInterval == 0 {
 		cfg.SnapshotInterval = DefaultSnapshotInterval
 	}
-	// The service replays the stream repeatedly; a decision callback would
-	// fire once per replay, not once per job.
+	// The service replays the stream repeatedly; a decision or batch
+	// callback would fire once per replay, not once per job.
 	cfg.Grid.OnDecision = nil
+	cfg.Grid.OnBatch = nil
 	fed, err := grid.New(cfg.Grid)
 	if err != nil {
-		return nil, err
+		return nil, validate.Prefix("grid", err)
 	}
 	total := 0
 	for _, spec := range cfg.Grid.Clusters {
 		total += spec.M
 	}
 
+	loopCtx, loopCancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		fed:        fed,
 		totalProcs: total,
 		reg:        newRegistry(),
 		stopCh:     make(chan struct{}),
+		loopCtx:    loopCtx,
+		loopCancel: loopCancel,
 	}
 	offset := 0.0
 	if cfg.SnapshotPath != "" {
@@ -410,6 +426,12 @@ func (s *Server) refreshLoop(every time.Duration) {
 			return
 		case <-t.C:
 			err := s.refresh()
+			if errors.Is(err, context.Canceled) {
+				// Our own shutdown cancelled the replay mid-flight (the
+				// drain path cancels loopCtx): not a refresh failure, and
+				// it must not linger in /healthz after a clean drain.
+				return
+			}
 			s.liveMu.Lock()
 			s.refreshErr = err
 			s.liveMu.Unlock()
@@ -438,7 +460,7 @@ func (s *Server) refresh() error {
 		s.liveMu.Unlock()
 		return nil
 	}
-	rep, err := s.fed.Run(jobs)
+	rep, err := s.fed.RunContext(s.loopCtx, jobs)
 	if err != nil {
 		return err
 	}
@@ -540,9 +562,13 @@ func (s *Server) apply(rep *grid.Report, vnow float64, final bool) {
 	}
 }
 
-// stopLoops stops the refresher and the snapshot writer.
+// stopLoops stops the refresher and the snapshot writer, cancelling any
+// in-flight refresh replay so the wait is short.
 func (s *Server) stopLoops() {
-	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		s.loopCancel()
+	})
 	s.loopWG.Wait()
 }
 

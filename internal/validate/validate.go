@@ -1,0 +1,73 @@
+// Package validate defines the unified configuration-validation error of
+// the library: an error that names the exact field path that is wrong
+// ("clusters[2].machines", "arrivals.rate"), so a bad config fails eagerly
+// — at construction, before any goroutine spawns — with a message that
+// points at the offending knob instead of a free-form string.
+//
+// The scenario facade re-exports Error as ValidationError; the eager
+// checks of cluster.New, grid.New and serve.NewServer all produce it, and
+// wrapping layers extend the path with Prefix so a shard error surfaces as
+// "clusters[2].m: ..." at the grid level.
+package validate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a configuration validation failure anchored at a field path.
+type Error struct {
+	// Field is the dotted path of the offending field, e.g.
+	// "clusters[2].machines" or "arrivals.rate". Indexed segments use
+	// bracket syntax. Empty means the config as a whole.
+	Field string
+	// Msg says what is wrong with the field's value.
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Field == "" {
+		return e.Msg
+	}
+	return e.Field + ": " + e.Msg
+}
+
+// Errorf builds an Error at the field path with a formatted message.
+func Errorf(field, format string, args ...any) *Error {
+	return &Error{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Index renders one indexed path segment: Index("clusters", 2) is
+// "clusters[2]".
+func Index(field string, i int) string {
+	return fmt.Sprintf("%s[%d]", field, i)
+}
+
+// Prefix extends the field path of err with an outer segment: a *Error
+// keeps its message and gains the prefix; any other error is converted,
+// its text becoming the message. A nil err stays nil.
+func Prefix(field string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if e, ok := err.(*Error); ok {
+		return &Error{Field: join(field, e.Field), Msg: e.Msg}
+	}
+	return &Error{Field: field, Msg: err.Error()}
+}
+
+// join concatenates two path segments with a dot, except in front of an
+// index bracket (and around empty segments).
+func join(outer, inner string) string {
+	switch {
+	case outer == "":
+		return inner
+	case inner == "":
+		return outer
+	case strings.HasPrefix(inner, "["):
+		return outer + inner
+	default:
+		return outer + "." + inner
+	}
+}
