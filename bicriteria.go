@@ -3,8 +3,10 @@ package bicriteria
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"bicriteria/internal/baselines"
+	"bicriteria/internal/buildinfo"
 	"bicriteria/internal/cluster"
 	"bicriteria/internal/core"
 	"bicriteria/internal/dualapprox"
@@ -13,6 +15,7 @@ import (
 	"bicriteria/internal/grid"
 	"bicriteria/internal/lowerbound"
 	"bicriteria/internal/moldable"
+	"bicriteria/internal/obs"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
 	"bicriteria/internal/scenario"
@@ -22,6 +25,10 @@ import (
 	"bicriteria/internal/trace"
 	"bicriteria/internal/workload"
 )
+
+// Version is the library's semantic version, also reported by
+// `bicrit -version` and the service's GET /version endpoint.
+const Version = buildinfo.Version
 
 // ---------------------------------------------------------------------------
 // Scenario API v2: one composable spec that drives every layer
@@ -91,7 +98,12 @@ var (
 	ScenarioWithSequential  = scenario.WithSequential
 	ScenarioWithFaults      = scenario.WithFaults
 	ScenarioWithService     = scenario.WithService
+	ScenarioWithTrace       = scenario.WithTrace
 )
+
+// ScenarioTrace is the optional trace section of a scenario: where and
+// in which format the runner's event stream is written.
+type ScenarioTrace = scenario.TraceSpec
 
 // NewScenario builds and validates a scenario from functional options.
 func NewScenario(opts ...ScenarioOption) (Scenario, error) { return scenario.New(opts...) }
@@ -176,6 +188,72 @@ func WriteScenarioReportCSV(w io.Writer, info ScenarioInfo, rep *ScenarioReport)
 // WriteServeFinalReport renders a drained service's final report as the
 // standard text.
 func WriteServeFinalReport(w io.Writer, rep *ServeFinalReport) { scenario.WriteFinalReport(w, rep) }
+
+// ---------------------------------------------------------------------------
+// Observability: metrics registry, trace sink, pprof
+// ---------------------------------------------------------------------------
+
+// MetricsRegistry is the dependency-free metrics registry of the
+// library: counters, gauges and histograms with stable label ordering,
+// rendered in the Prometheus text exposition format by WritePrometheus.
+// Compiled scenario runners expose theirs through Metrics(); the live
+// service serves its own on GET /metrics.prom.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format, as served by GET /metrics.prom.
+const PromContentType = obs.ContentType
+
+// ParsePrometheusText parses and validates Prometheus text-format
+// exposition, returning the metric families. Tests use it to pin the
+// scrape output's validity.
+func ParsePrometheusText(r io.Reader) ([]PromFamily, error) { return obs.ParseText(r) }
+
+// PromFamily is one parsed metric family of a Prometheus exposition.
+type PromFamily = obs.Family
+
+// TraceSink collects structured trace events from a (possibly
+// concurrent) replay and renders them deterministically as JSONL or
+// Chrome trace-event JSON (perfetto-viewable). Events carry simulated
+// time only, so seeded replays render byte-identically.
+type TraceSink = obs.Sink
+
+// NewTraceSink builds an empty trace sink.
+func NewTraceSink() *TraceSink { return obs.NewSink() }
+
+// TraceEvent is one structured replay event (batch, routing decision,
+// kill, migration or drain) stamped with simulated time.
+type TraceEvent = obs.Event
+
+// Trace output formats of TraceSink.Write.
+const (
+	TraceFormatChrome = obs.FormatChrome
+	TraceFormatJSONL  = obs.FormatJSONL
+)
+
+// ScenarioTraceObserver returns an observer recording every event of a
+// run into the sink; combine with RecordScenarioDrain after the run to
+// close the trace.
+func ScenarioTraceObserver(sink *TraceSink) ScenarioObserver { return scenario.TraceObserver(sink) }
+
+// RecordScenarioDrain appends the run-level summary event (the full
+// horizon of the replay) to a trace.
+func RecordScenarioDrain(sink *TraceSink, rep *ScenarioReport) { scenario.RecordDrain(sink, rep) }
+
+// MergeScenarioObservers chains two observers: each event invokes a's
+// callback then b's. Use it to stack a trace sink under your own
+// observer.
+func MergeScenarioObservers(a, b ScenarioObserver) ScenarioObserver {
+	return scenario.MergeObservers(a, b)
+}
+
+// ServeDebugHandler returns the net/http/pprof endpoints on their
+// standard /debug/pprof/ paths as an explicit mux; the CLIs bind it to
+// a separate listener behind -debug-addr.
+func ServeDebugHandler() http.Handler { return serve.DebugHandler() }
 
 // ---------------------------------------------------------------------------
 // Task and instance model

@@ -54,6 +54,7 @@ func main() {
 func run(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("bicrit-serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address of the HTTP API")
+	debugAddr := fs.String("debug-addr", "", "optional listen address of the pprof endpoints (kept off the API port)")
 	clustersFlag := fs.String("clusters", "64,32,16", "comma-separated processor counts, one per cluster shard")
 	routingFlag := fs.String("routing", "least-backlog", "routing policy: round-robin, least-backlog, lower-bound or moldability")
 	seed := fs.Int64("seed", 1, "seed of the DEMT shuffles and the per-cluster noise")
@@ -100,12 +101,12 @@ func run(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}
 	if err != nil {
 		return err
 	}
-	return serveLoop(server, *addr, len(cfg.Grid.Clusters), cfg.Speedup, *snapshot, out, bound, stop)
+	return serveLoop(server, *addr, *debugAddr, len(cfg.Grid.Clusters), cfg.Speedup, *snapshot, out, bound, stop)
 }
 
-// serveLoop binds the HTTP API, waits for a shutdown signal (or stop) and
-// drains.
-func serveLoop(server *bicriteria.ServeServer, addr string, clusters int, speedup float64, snapshotPath string,
+// serveLoop binds the HTTP API (and the optional pprof listener), waits
+// for a shutdown signal (or stop) and drains.
+func serveLoop(server *bicriteria.ServeServer, addr, debugAddr string, clusters int, speedup float64, snapshotPath string,
 	out io.Writer, bound chan<- string, stop <-chan struct{}) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -117,6 +118,17 @@ func serveLoop(server *bicriteria.ServeServer, addr string, clusters int, speedu
 	httpSrv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			httpSrv.Close()
+			return err
+		}
+		debugSrv := &http.Server{Handler: bicriteria.ServeDebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		defer debugSrv.Close()
+		go func() { debugSrv.Serve(dln) }()
+		fmt.Fprintf(out, "pprof on %s/debug/pprof/\n", dln.Addr())
+	}
 	fmt.Fprintf(out, "bicrit-serve listening on %s (%d clusters, speedup %g)\n",
 		ln.Addr(), clusters, speedup)
 	if restored := server.CountersSnapshot().Restored; restored > 0 {

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+
+	"bicriteria"
+	"bicriteria/cmd/internal/cliutil"
+)
+
+// benchResult is one benchmark's measurement in the BENCH_smoke.json
+// artifact.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchCmd runs the replay smoke benchmarks — the cluster engine and the
+// grid federation on their standard bursty streams, the same
+// configurations as the repo's BenchmarkClusterReplay and
+// BenchmarkGridReplay — and writes the measurements as JSON. CI runs it
+// on every push and uploads the artifact, giving a per-commit
+// performance trail without a full `go test -bench` sweep.
+func benchCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bicrit bench", flag.ContinueOnError)
+	outPath := fs.String("o", "BENCH_smoke.json", "output file of the JSON measurements")
+	benchtime := fs.Duration("benchtime", 0, "minimum run time per benchmark (0 = the testing default 1s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: bicrit bench [-o BENCH_smoke.json]")
+	}
+	if *benchtime != 0 {
+		// testing.Benchmark honours the -test.benchtime flag; Init registers
+		// it on the global flag set (which bicrit's subcommands don't use).
+		testing.Init()
+		if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+			return err
+		}
+	}
+
+	results := []benchResult{
+		runBench("ClusterReplay", benchClusterReplay),
+		runBench("GridReplay/clusters=4", func(b *testing.B) { benchGridReplay(b, 4) }),
+	}
+	for _, r := range results {
+		fmt.Fprintf(out, "%-24s %12.0f ns/op %8d allocs/op %12d B/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	return cliutil.WriteFile(*outPath, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	})
+}
+
+// runBench executes one benchmark function under the testing harness and
+// flattens the result.
+func runBench(name string, fn func(b *testing.B)) benchResult {
+	res := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		N:           res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// benchClusterReplay mirrors the repo's BenchmarkClusterReplay (scaled
+// configuration): the event-driven cluster engine replaying a bursty
+// Poisson stream with the concurrent portfolio, noisy runtimes and a
+// reservation.
+func benchClusterReplay(b *testing.B) {
+	const m, n = 64, 150
+	arrivals, err := bicriteria.GenerateArrivals(bicriteria.ArrivalConfig{
+		Workload:  bicriteria.WorkloadConfig{Kind: bicriteria.WorkloadMixed, M: m, N: n, Seed: 42},
+		Rate:      4,
+		BurstSize: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := bicriteria.ArrivalJobs(arrivals)
+	perturb, err := bicriteria.UniformRuntimeNoise(0.2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := bicriteria.NewClusterEngine(bicriteria.ClusterConfig{
+		M:         m,
+		Objective: bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveCombined, Alpha: 0.5},
+		Perturb:   perturb,
+		Reservations: []bicriteria.Reservation{
+			{Name: "maint", Procs: m / 8, Start: 10, End: 30},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGridReplay mirrors the repo's BenchmarkGridReplay: the grid
+// federation replaying one fixed 500-job burst-heavy stream across
+// `clusters` shards.
+func benchGridReplay(b *testing.B, clusters int) {
+	const perCluster = 32
+	arrivals, err := bicriteria.GenerateArrivals(bicriteria.ArrivalConfig{
+		Workload:  bicriteria.WorkloadConfig{Kind: bicriteria.WorkloadMixed, M: perCluster, N: 500, Seed: 42},
+		Rate:      100,
+		BurstSize: 125,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := bicriteria.ArrivalJobs(arrivals)
+	specs := make([]bicriteria.GridClusterSpec, clusters)
+	for i := range specs {
+		perturb, err := bicriteria.UniformRuntimeNoise(0.2, int64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[i] = bicriteria.GridClusterSpec{M: perCluster, Perturb: perturb}
+	}
+	fed, err := bicriteria.NewGrid(bicriteria.GridConfig{
+		Clusters: specs,
+		Routing:  bicriteria.GridLeastBacklog(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

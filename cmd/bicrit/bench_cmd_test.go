@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchCmdEmitsJSON smokes `bicrit bench`: with a tiny benchtime it
+// must still emit a well-formed BENCH_smoke.json with both replay
+// benchmarks measured.
+func TestBenchCmdEmitsJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	var buf bytes.Buffer
+	if err := benchCmd([]string{"-o", out, "-benchtime", "1ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []benchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Name] = true
+		if r.N <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: n=%d ns/op=%g, want positive", r.Name, r.N, r.NsPerOp)
+		}
+		if r.AllocsPerOp <= 0 {
+			t.Errorf("%s: allocs/op=%d, want positive", r.Name, r.AllocsPerOp)
+		}
+	}
+	if !names["ClusterReplay"] || !names["GridReplay/clusters=4"] {
+		t.Fatalf("unexpected benchmark set: %v", names)
+	}
+}

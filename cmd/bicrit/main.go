@@ -31,6 +31,9 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
+
+	"bicriteria"
 )
 
 func main() {
@@ -51,12 +54,19 @@ func dispatch(args []string) error {
 		return serveCmd(args[1:], os.Stdout, nil, nil)
 	case "gen":
 		return genCmd(args[1:], os.Stdout)
+	case "bench":
+		return benchCmd(args[1:], os.Stdout)
+	case "-version", "--version", "version":
+		fmt.Printf("bicrit %s (%s)\n", bicriteria.Version, runtime.Version())
+		return nil
 	case "-h", "-help", "--help", "help":
-		fmt.Println("usage: bicrit <run|serve|gen> [flags]")
+		fmt.Println("usage: bicrit <run|serve|gen|bench> [flags]")
 		fmt.Println("  run    replay a scenario file offline and print the report")
 		fmt.Println("  serve  run a scenario file as a live scheduler service")
 		fmt.Println("  gen    write a scenario file from flags")
+		fmt.Println("  bench  run the replay smoke benchmarks and emit JSON results")
+		fmt.Println("flags: -version prints the release and Go version")
 		return nil
 	}
-	return fmt.Errorf("unknown subcommand %q (want run, serve or gen)", args[0])
+	return fmt.Errorf("unknown subcommand %q (want run, serve, gen or bench)", args[0])
 }

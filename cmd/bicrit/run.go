@@ -18,6 +18,8 @@ func runCmd(args []string, out io.Writer) error {
 	sequential := fs.Bool("sequential", false, "force the goroutine-free replay path (overrides the scenario)")
 	jsonPath := fs.String("json", "", "write the full grid report as JSON (grid topology)")
 	csvPath := fs.String("csv", "", "write the per-cluster summary table as CSV (grid topology)")
+	tracePath := fs.String("trace", "", "write the event trace to this file (overrides the scenario's trace section)")
+	traceFormat := fs.String("trace-format", "", "trace format: chrome (default, perfetto-viewable) or jsonl")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -31,31 +33,49 @@ func runCmd(args []string, out io.Writer) error {
 	if *sequential {
 		scn.Sequential = true
 	}
+	// The -trace flag overrides the scenario's trace section.
+	traceSpec := scn.Trace
+	if *tracePath != "" {
+		traceSpec = &bicriteria.ScenarioTrace{Path: *tracePath, Format: *traceFormat}
+	} else if *traceFormat != "" {
+		return fmt.Errorf("-trace-format needs -trace (or a trace section in the scenario)")
+	}
 
 	runner, err := bicriteria.Compile(scn)
 	if err != nil {
 		return err
 	}
+	var observer bicriteria.ScenarioObserver
 	if *verbose {
 		// The verbose stream matches the legacy CLIs: batch lines for the
 		// single topology, routing decisions for the grid.
 		if runner.Topology() == bicriteria.TopologySingle {
-			runner.Observe(bicriteria.ScenarioObserver{
-				Batch: func(_ int, br bicriteria.ClusterBatchReport) {
-					fmt.Fprint(out, bicriteria.FormatScenarioBatchLine(br))
-				},
-			})
+			observer.Batch = func(_ int, br bicriteria.ClusterBatchReport) {
+				fmt.Fprint(out, bicriteria.FormatScenarioBatchLine(br))
+			}
 		} else {
-			runner.Observe(bicriteria.ScenarioObserver{
-				Decision: func(d bicriteria.GridDecision) {
-					fmt.Fprint(out, bicriteria.FormatScenarioDecisionLine(d))
-				},
-			})
+			observer.Decision = func(d bicriteria.GridDecision) {
+				fmt.Fprint(out, bicriteria.FormatScenarioDecisionLine(d))
+			}
 		}
 	}
+	var sink *bicriteria.TraceSink
+	if traceSpec != nil {
+		sink = bicriteria.NewTraceSink()
+		observer = bicriteria.MergeScenarioObservers(observer, bicriteria.ScenarioTraceObserver(sink))
+	}
+	runner.Observe(observer)
 	rep, err := runner.Run(context.Background())
 	if err != nil {
 		return err
+	}
+	if sink != nil {
+		bicriteria.RecordScenarioDrain(sink, rep)
+		if err := cliutil.WriteFile(traceSpec.Path, func(w io.Writer) error {
+			return sink.Write(w, traceSpec.Format)
+		}); err != nil {
+			return err
+		}
 	}
 	if err := bicriteria.WriteScenarioReport(out, runner.Info(), rep); err != nil {
 		return err

@@ -20,11 +20,12 @@ import (
 func serveCmd(args []string, out io.Writer, bound chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("bicrit serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address of the HTTP API")
+	debugAddr := fs.String("debug-addr", "", "optional listen address of the pprof endpoints (kept off the API port)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: bicrit serve [-addr :8080] scenario.json")
+		return fmt.Errorf("usage: bicrit serve [-addr :8080] [-debug-addr :6060] scenario.json")
 	}
 	scn, err := bicriteria.LoadScenario(fs.Arg(0))
 	if err != nil {
@@ -49,6 +50,17 @@ func serveCmd(args []string, out io.Writer, bound chan<- string, stop <-chan str
 	httpSrv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			httpSrv.Close()
+			return err
+		}
+		debugSrv := &http.Server{Handler: bicriteria.ServeDebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		defer debugSrv.Close()
+		go func() { debugSrv.Serve(dln) }()
+		fmt.Fprintf(out, "pprof on %s/debug/pprof/\n", dln.Addr())
+	}
 	name := scn.Name
 	if name == "" {
 		name = fs.Arg(0)

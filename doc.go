@@ -60,6 +60,28 @@
 // values naming the offending field path ("clusters[2].machines"), raised
 // eagerly — before any goroutine spawns. See examples/scenario.
 //
+// The observability layer (internal/obs, exported as the Metrics*,
+// Prom* and Trace* identifiers) instruments all of the above without
+// adding a dependency: a Prometheus text-format registry (counters,
+// gauges, histograms sharing internal/stats' log-spaced bucket
+// geometry) that the cluster engine, the grid federation and the serve
+// layer publish wall-clock timings into (per-algorithm portfolio
+// latency, DEMT phase times, batch planning, stream routing), served on
+// GET /metrics.prom next to the JSON /metrics and pinned valid by a
+// format-parsing golden test; a trace sink fed by the scenario Observer
+// that records every batch, routing decision, kill, migration and drain
+// as structured events stamped with simulated time and renders them as
+// JSONL or Chrome trace-event JSON (one track per cluster, viewable in
+// perfetto) — byte-identical across concurrent and sequential seeded
+// replays; and net/http/pprof behind the CLIs' -debug-addr flag, off
+// the public API port. Wall-clock measurements flow only into metrics,
+// never into scheduling decisions or traces, so the bit-identical
+// replay discipline is untouched. bicrit run -trace out.json (or a
+// trace block in the scenario spec) activates tracing; bicrit bench
+// emits the replay benchmarks as machine-readable JSON; bicrit
+// -version, GET /version and the bicrit_build_info gauge report
+// buildinfo.Version.
+//
 // The root package is a thin facade over the internal packages: it exposes
 // the task and schedule model, the DEMT scheduler, the baselines, the lower
 // bounds, the workload generators, the simulator and the scenario system

@@ -1,0 +1,13 @@
+// Package buildinfo holds the library version in a leaf package, so
+// every layer — including internal/serve, which the facade imports —
+// can stamp scrapes, traces and HTTP responses without import cycles.
+package buildinfo
+
+import "runtime"
+
+// Version is the library version, bumped on every released change set.
+const Version = "0.6.0"
+
+// GoVersion returns the version of the Go runtime the binary was built
+// with, used as a build-info scrape label.
+func GoVersion() string { return runtime.Version() }

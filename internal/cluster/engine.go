@@ -26,10 +26,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"bicriteria/internal/faults"
 	"bicriteria/internal/listsched"
 	"bicriteria/internal/moldable"
+	"bicriteria/internal/obs"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
 	"bicriteria/internal/schedule"
@@ -79,6 +81,11 @@ type Config struct {
 	// OnBatch, when non-nil, receives every batch report as soon as the
 	// batch completes: the streaming interface for long replays.
 	OnBatch func(BatchReport)
+	// Metrics, when non-nil, receives wall-clock timing histograms of the
+	// scheduling hot path: per-candidate portfolio latency and per-batch
+	// planning time. Timings are observational only — they never influence
+	// the committed schedules, so instrumented replays stay bit-identical.
+	Metrics *obs.Registry
 }
 
 // BatchReport describes one committed batch.
@@ -105,6 +112,10 @@ type BatchReport struct {
 	// Killed lists the task IDs killed by outages during this batch's
 	// realized execution, sorted. They rejoin the queue (or are lost).
 	Killed []int
+	// KillEvents carries the full kill records of this batch (absolute
+	// start and kill times), for streaming observers; Killed remains the
+	// wire-format digest, so serialized reports are unchanged.
+	KillEvents []KillEvent `json:"-"`
 	// Cumulative is the metrics snapshot after this batch.
 	Cumulative Metrics
 }
@@ -319,7 +330,8 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 	sort.Ints(ids)
 	inst := moldable.NewInstance(e.cfg.M, tasks)
 
-	cands, scheds, win, err := runPortfolio(inst, e.cfg.Portfolio, e.cfg.Objective, e.cfg.Sequential)
+	planStart := time.Now()
+	cands, scheds, win, err := runPortfolio(inst, e.cfg.Portfolio, e.cfg.Objective, e.cfg.Sequential, e.cfg.Metrics)
 	if err != nil {
 		return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: %w", index, err)
 	}
@@ -344,6 +356,11 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 			return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: reservation placement is invalid: %w", index, err)
 		}
 		planned = placed
+	}
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Histogram("bicrit_batch_schedule_seconds",
+			"Wall-clock time planning one batch: portfolio run, scoring and reservation placement.",
+			obs.TimeBuckets()).Observe(time.Since(planStart).Seconds())
 	}
 
 	simRes, err := sim.Execute(inst, planned, &sim.Options{
@@ -378,6 +395,7 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 	advance := simRes.Makespan
 	var resub []online.Job
 	var killedIDs []int
+	var killEvents []KillEvent
 	if len(simRes.Killed) > 0 {
 		// The batch's tasks by ID, as scheduled (a resubmitted job may
 		// already carry checkpoint-scaled times).
@@ -390,7 +408,9 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 				advance = k.KilledAt
 			}
 			killedIDs = append(killedIDs, k.TaskID)
-			report.Kills = append(report.Kills, KillEvent{TaskID: k.TaskID, Batch: index, Start: now + k.Start, Time: now + k.KilledAt})
+			ev := KillEvent{TaskID: k.TaskID, Batch: index, Start: now + k.Start, Time: now + k.KilledAt}
+			report.Kills = append(report.Kills, ev)
+			killEvents = append(killEvents, ev)
 			fstate.killedEver[k.TaskID] = true
 			fstate.retries[k.TaskID]++
 			acc.killed++
@@ -422,6 +442,7 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 		RealizedMakespan: simRes.Makespan,
 		Delayed:          simRes.Delayed,
 		Killed:           killedIDs,
+		KillEvents:       killEvents,
 		Cumulative:       acc.snapshot(),
 	}, advance, resub, nil
 }

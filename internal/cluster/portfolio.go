@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"bicriteria/internal/baselines"
 	"bicriteria/internal/core"
 	"bicriteria/internal/lowerbound"
 	"bicriteria/internal/moldable"
+	"bicriteria/internal/obs"
 	"bicriteria/internal/schedule"
 )
 
@@ -153,12 +155,19 @@ type Candidate struct {
 // candidates under the objective and returns the candidates (in portfolio
 // order), the produced schedules, and the winner index. The winner is the
 // lowest score, ties broken by portfolio order, so the outcome is
-// bit-identical whether the members run concurrently or not.
-func runPortfolio(inst *moldable.Instance, algos []Algorithm, obj Objective, sequential bool) ([]Candidate, []*schedule.Schedule, int, error) {
+// bit-identical whether the members run concurrently or not. A non-nil
+// registry receives each member's wall-clock latency under its name.
+func runPortfolio(inst *moldable.Instance, algos []Algorithm, obj Objective, sequential bool, reg *obs.Registry) ([]Candidate, []*schedule.Schedule, int, error) {
 	cands := make([]Candidate, len(algos))
 	scheds := make([]*schedule.Schedule, len(algos))
 	runOne := func(i int) {
+		start := time.Now()
 		s, err := algos[i].Run(inst)
+		if reg != nil {
+			reg.Histogram("bicrit_portfolio_algorithm_seconds",
+				"Wall-clock latency of one portfolio member scheduling one batch.",
+				obs.TimeBuckets(), obs.L("algorithm", algos[i].Name)).Observe(time.Since(start).Seconds())
+		}
 		if err == nil {
 			err = s.Validate(inst, nil)
 		}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"bicriteria/internal/dualapprox"
 	"bicriteria/internal/knapsack"
@@ -109,6 +110,12 @@ type Options struct {
 	// CmaxEstimate, when positive, is used instead of running the
 	// dual-approximation algorithm.
 	CmaxEstimate float64
+	// Timing, when set, receives the wall-clock seconds spent in each
+	// internal phase of a run: "knapsack" (batch construction) and
+	// "compact" (the compaction pass). Wall-clock timings are
+	// observational only — they must never feed back into scheduling
+	// decisions, which would break deterministic replays.
+	Timing func(phase string, seconds float64)
 }
 
 func (o *Options) withDefaults() Options {
@@ -117,6 +124,7 @@ func (o *Options) withDefaults() Options {
 		opts.Compaction = o.Compaction
 		opts.Selection = o.Selection
 		opts.CmaxEstimate = o.CmaxEstimate
+		opts.Timing = o.Timing
 		if o.Shuffles > 0 {
 			opts.Shuffles = o.Shuffles
 		}
@@ -240,6 +248,7 @@ func run(inst *moldable.Instance, opts Options) (*Result, error) {
 	}
 
 	// Step 3: batch construction.
+	stepStart := time.Now()
 	remaining := make(map[int]bool, inst.N())
 	for i := range inst.Tasks {
 		remaining[i] = true
@@ -261,11 +270,18 @@ func run(inst *moldable.Instance, opts Options) (*Result, error) {
 		res.Batches = append(res.Batches, *batch)
 	}
 	res.Raw = raw
+	if opts.Timing != nil {
+		opts.Timing("knapsack", time.Since(stepStart).Seconds())
+	}
 
 	// Step 4: compaction.
+	stepStart = time.Now()
 	final, tried, err := compact(inst, res, opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Timing != nil {
+		opts.Timing("compact", time.Since(stepStart).Seconds())
 	}
 	res.Schedule = final
 	res.ShufflesTried = tried

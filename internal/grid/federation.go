@@ -28,9 +28,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"bicriteria/internal/cluster"
 	"bicriteria/internal/faults"
+	"bicriteria/internal/obs"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
 	"bicriteria/internal/validate"
@@ -103,6 +105,13 @@ type Config struct {
 	// implementations must be safe for concurrent use (the scenario layer
 	// serializes with a mutex). Nil leaves the replay untouched.
 	OnBatch func(cluster int, br cluster.BatchReport)
+	// Metrics, when non-nil, receives wall-clock timing histograms of the
+	// grid hot path: the routing pass, plus every shard engine's portfolio
+	// and batch-planning timings (the registry is shared across shards,
+	// which is safe — all registry operations are mutex-protected).
+	// Timings never influence routing or scheduling, so instrumented
+	// replays stay bit-identical.
+	Metrics *obs.Registry
 }
 
 // Report is the outcome of a grid run.
@@ -164,6 +173,7 @@ func New(cfg Config) (*Federation, error) {
 			Outages:      cfg.Faults.ClusterWindows(i, spec.M),
 			Replan:       cfg.Replan,
 			MaxRetries:   cfg.MaxRetries,
+			Metrics:      cfg.Metrics,
 		}
 		if cfg.OnBatch != nil {
 			shard := i
@@ -229,9 +239,15 @@ func (f *Federation) RunContext(ctx context.Context, jobs []online.Job) (*Report
 	// Routing is one pure sequential pass shared by both execution paths
 	// (it interleaves shard-outage drains with arrivals in time order);
 	// only the shard replays differ in concurrency.
+	routeStart := time.Now()
 	decisions, routed, err := rt.routeStream(sorted, f.cfg.OnDecision)
 	if err != nil {
 		return nil, err
+	}
+	if f.cfg.Metrics != nil {
+		f.cfg.Metrics.Histogram("bicrit_grid_route_stream_seconds",
+			"Wall-clock time of the grid's routing pass over one full job stream.",
+			obs.TimeBuckets()).Observe(time.Since(routeStart).Seconds())
 	}
 	report := &Report{
 		Policy:    f.cfg.Routing.Name(),

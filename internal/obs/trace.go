@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a trace event.
+type Kind string
+
+// Event kinds recorded by the scenario runner.
+const (
+	// KindBatch is one committed batch on a cluster: Start is the fire
+	// time, End the fire time plus the realized makespan, Name the winning
+	// portfolio algorithm.
+	KindBatch Kind = "batch"
+	// KindDecision is one routing decision of the grid router: Job routed
+	// to Cluster at Start (the release time), with the router's backlog
+	// estimate in Backlog.
+	KindDecision Kind = "decision"
+	// KindKill is one task killed by an outage: Job on Cluster in Batch,
+	// started at Start, killed at End.
+	KindKill Kind = "kill"
+	// KindMigration is a resubmission decision after a shard outage: Job
+	// re-routed to Cluster at the outage instant Start.
+	KindMigration Kind = "migration"
+	// KindDrain is the run-level summary event closing a trace: Start is
+	// 0, End the federation makespan, Tasks the number of jobs completed.
+	KindDrain Kind = "drain"
+)
+
+// rank orders kinds within one (Start, Cluster) group of the total event
+// order. The ordering is arbitrary but must never change: rendered traces
+// are compared byte-for-byte across replays.
+func (k Kind) rank() int {
+	switch k {
+	case KindDecision:
+		return 0
+	case KindMigration:
+		return 1
+	case KindBatch:
+		return 2
+	case KindKill:
+		return 3
+	case KindDrain:
+		return 4
+	}
+	return 5
+}
+
+// Event is one structured trace event, stamped with simulated time.
+// Cluster is -1 for grid-level events (drain); Batch and Job are -1 when
+// the kind carries none.
+type Event struct {
+	Kind    Kind    `json:"kind"`
+	Cluster int     `json:"cluster"`
+	Batch   int     `json:"batch"`
+	Job     int     `json:"job"`
+	Name    string  `json:"name,omitempty"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+	Tasks   int     `json:"tasks,omitempty"`
+	Backlog float64 `json:"backlog,omitempty"`
+}
+
+// less is the total deterministic order events are rendered in. Events
+// arrive in nondeterministic order from a concurrent replay; sorting
+// under a total order (no ties between distinct events of a seeded run)
+// makes the rendered bytes independent of arrival order.
+func (e Event) less(o Event) bool {
+	if e.Start != o.Start {
+		return e.Start < o.Start
+	}
+	if e.Cluster != o.Cluster {
+		return e.Cluster < o.Cluster
+	}
+	if e.Kind != o.Kind {
+		return e.Kind.rank() < o.Kind.rank()
+	}
+	if e.Batch != o.Batch {
+		return e.Batch < o.Batch
+	}
+	if e.Job != o.Job {
+		return e.Job < o.Job
+	}
+	return e.End < o.End
+}
+
+// Sink collects trace events from concurrently running shards and
+// renders them deterministically. All methods are safe for concurrent
+// use; the zero value is not usable, build with NewSink.
+type Sink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewSink builds an empty sink.
+func NewSink() *Sink { return &Sink{} }
+
+// Record appends one event.
+func (s *Sink) Record(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (s *Sink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Events returns the recorded events sorted under the total order.
+func (s *Sink) Events() []Event {
+	s.mu.Lock()
+	out := append([]Event(nil), s.events...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Trace output formats.
+const (
+	FormatJSONL  = "jsonl"
+	FormatChrome = "chrome"
+)
+
+// Write renders the sink in the named format: FormatJSONL or
+// FormatChrome. An empty format means chrome.
+func (s *Sink) Write(w io.Writer, format string) error {
+	switch format {
+	case FormatJSONL:
+		return s.WriteJSONL(w)
+	case FormatChrome, "":
+		return s.WriteChromeTrace(w)
+	}
+	return fmt.Errorf("obs: unknown trace format %q", format)
+}
+
+// WriteJSONL renders one event per line, in the total order.
+func (s *Sink) WriteJSONL(w io.Writer) error {
+	for _, ev := range s.Events() {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format. Field order
+// is fixed by the struct, keeping the rendered bytes deterministic.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the event detail shown in the viewer's args pane.
+type chromeArgs struct {
+	Name    string  `json:"name,omitempty"`
+	Batch   int     `json:"batch,omitempty"`
+	Job     int     `json:"job,omitempty"`
+	Tasks   int     `json:"tasks,omitempty"`
+	Backlog float64 `json:"backlog,omitempty"`
+}
+
+// chromeTrace is the top-level trace-event JSON object.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// pid maps a cluster index onto a Chrome process track: cluster i is
+// pid i+1, grid-level events (cluster -1) are pid 0.
+func pid(cluster int) int {
+	if cluster < 0 {
+		return 0
+	}
+	return cluster + 1
+}
+
+// WriteChromeTrace renders the sink as Chrome trace-event JSON: one
+// process track per cluster (plus a "grid" track for run-level events),
+// batches as complete ("X") spans, everything else as instants. One
+// simulated time unit maps to one displayed millisecond (ts is in
+// microseconds). The output loads in perfetto or chrome://tracing as a
+// machine-readable Gantt of the replay.
+func (s *Sink) WriteChromeTrace(w io.Writer) error {
+	events := s.Events()
+	trace := chromeTrace{DisplayTimeUnit: "ms"}
+
+	// Name every track up front, grid first, clusters in index order.
+	pids := map[int]string{}
+	for _, ev := range events {
+		p := pid(ev.Cluster)
+		if _, ok := pids[p]; !ok {
+			if p == 0 {
+				pids[p] = "grid"
+			} else {
+				pids[p] = fmt.Sprintf("cluster %d", ev.Cluster)
+			}
+		}
+	}
+	order := make([]int, 0, len(pids))
+	for p := range pids {
+		order = append(order, p)
+	}
+	sort.Ints(order)
+	for _, p := range order {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  p,
+			Args: &chromeArgs{Name: pids[p]},
+		})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Ts:  ev.Start * 1000,
+			Pid: pid(ev.Cluster),
+			Tid: 1,
+		}
+		switch ev.Kind {
+		case KindBatch:
+			ce.Name = fmt.Sprintf("batch %d (%s)", ev.Batch, ev.Name)
+			ce.Ph = "X"
+			ce.Dur = (ev.End - ev.Start) * 1000
+			ce.Args = &chromeArgs{Batch: ev.Batch, Tasks: ev.Tasks}
+		case KindDecision:
+			ce.Name = fmt.Sprintf("route job %d", ev.Job)
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = &chromeArgs{Job: ev.Job, Backlog: ev.Backlog}
+		case KindMigration:
+			ce.Name = fmt.Sprintf("migrate job %d", ev.Job)
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = &chromeArgs{Job: ev.Job, Backlog: ev.Backlog}
+		case KindKill:
+			ce.Name = fmt.Sprintf("kill job %d", ev.Job)
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Ts = ev.End * 1000 // the kill instant, not the task start
+			ce.Args = &chromeArgs{Batch: ev.Batch, Job: ev.Job}
+		case KindDrain:
+			ce.Name = "drain"
+			ce.Ph = "X"
+			ce.Dur = (ev.End - ev.Start) * 1000
+			ce.Args = &chromeArgs{Tasks: ev.Tasks}
+		default:
+			ce.Name = string(ev.Kind)
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

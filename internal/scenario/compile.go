@@ -11,6 +11,7 @@ import (
 	"bicriteria/internal/core"
 	"bicriteria/internal/faults"
 	"bicriteria/internal/grid"
+	"bicriteria/internal/obs"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
 	"bicriteria/internal/serve"
@@ -30,9 +31,10 @@ type Observer struct {
 	// Decision receives every routing decision of a grid run in stream
 	// order.
 	Decision func(d grid.Decision)
-	// Kill receives every job killed by an outage: the cluster it died
-	// on, the batch it was running in, and its task ID.
-	Kill func(cluster, batch, taskID int)
+	// Kill receives every job killed by an outage: the cluster it died on
+	// and the full kill record (task, batch, absolute start and kill
+	// times).
+	Kill func(cluster int, kill cluster.KillEvent)
 	// Migration receives the routing decisions that moved a job off a
 	// dark shard (a subset of Decision's stream, for callers that only
 	// care about migrations).
@@ -121,6 +123,11 @@ type Runner interface {
 	Info() Info
 	// Observe installs the event callbacks of subsequent Runs.
 	Observe(Observer)
+	// Metrics returns the runner's observability registry: the wall-clock
+	// timing histograms of the compiled engine (portfolio latency per
+	// algorithm, DEMT phases, batch planning, grid routing) accumulate in
+	// it across Runs, renderable with WritePrometheus.
+	Metrics() *obs.Registry
 	// Run replays the stream through the compiled engine. Cancelling the
 	// context aborts the replay between batches without deadlock;
 	// errors.Is(err, ctx.Err()) holds on the returned error.
@@ -144,9 +151,10 @@ func Compile(s Scenario) (Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	switch s.Topology {
 	case TopologySingle:
-		cfg, err := clusterConfig(s, plan)
+		cfg, err := clusterConfig(s, plan, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -154,16 +162,16 @@ func Compile(s Scenario) (Runner, error) {
 		if _, err := cluster.New(cfg); err != nil {
 			return nil, validate.Prefix("clusters[0]", err)
 		}
-		return &clusterRunner{scn: s, cfg: cfg, jobs: jobs, plan: plan}, nil
+		return &clusterRunner{scn: s, cfg: cfg, jobs: jobs, plan: plan, reg: reg}, nil
 	default:
-		cfg, err := gridConfig(s, plan)
+		cfg, err := gridConfig(s, plan, reg)
 		if err != nil {
 			return nil, err
 		}
 		if _, err := grid.New(cfg); err != nil {
 			return nil, err
 		}
-		return &gridRunner{scn: s, cfg: cfg, jobs: jobs, plan: plan}, nil
+		return &gridRunner{scn: s, cfg: cfg, jobs: jobs, plan: plan, reg: reg}, nil
 	}
 }
 
@@ -184,11 +192,14 @@ func ServeConfig(s Scenario) (serve.Config, error) {
 	if err != nil {
 		return serve.Config{}, err
 	}
-	gcfg, err := gridConfig(s, plan)
+	// One registry for the whole service: the DEMT phase timings of the
+	// shard portfolios land in the same scrape as the server's own series.
+	reg := obs.NewRegistry()
+	gcfg, err := gridConfig(s, plan, reg)
 	if err != nil {
 		return serve.Config{}, err
 	}
-	cfg := serve.Config{Grid: gcfg}
+	cfg := serve.Config{Grid: gcfg, Metrics: reg}
 	if svc := s.Service; svc != nil {
 		cfg.Speedup = svc.Speedup
 		cfg.SubmitRate = svc.SubmitRate
@@ -443,8 +454,21 @@ func buildFaults(s Scenario, jobs []online.Job) (*faults.Plan, error) {
 	return plan, nil
 }
 
+// coreOptions builds the DEMT options of a shard's portfolio, hooking
+// the phase timer of the registry in. The timings are observational
+// only: they never feed back into scheduling, so the replay stays
+// deterministic.
+func coreOptions(s Scenario, reg *obs.Registry) *core.Options {
+	o := &core.Options{Seed: s.Seed}
+	if reg != nil {
+		o.Timing = reg.PhaseTimer("bicrit_demt_phase_seconds",
+			"Wall-clock time of DEMT internal phases per batch.", "phase")
+	}
+	return o
+}
+
 // clusterConfig assembles the single-topology engine configuration.
-func clusterConfig(s Scenario, plan *faults.Plan) (cluster.Config, error) {
+func clusterConfig(s Scenario, plan *faults.Plan, reg *obs.Registry) (cluster.Config, error) {
 	m := s.Clusters[0].Machines
 	policy, err := s.batchPolicy(m)
 	if err != nil {
@@ -460,12 +484,13 @@ func clusterConfig(s Scenario, plan *faults.Plan) (cluster.Config, error) {
 	}
 	cfg := cluster.Config{
 		M:            m,
-		Portfolio:    cluster.DefaultPortfolio(&core.Options{Seed: s.Seed}),
+		Portfolio:    cluster.DefaultPortfolio(coreOptions(s, reg)),
 		Objective:    objective,
 		Policy:       policy,
 		Reservations: s.Clusters[0].reservations(),
 		Perturb:      perturb,
 		Sequential:   s.Sequential,
+		Metrics:      reg,
 	}
 	if plan != nil {
 		cfg.Outages = plan.ClusterWindows(0, m)
@@ -480,7 +505,7 @@ func clusterConfig(s Scenario, plan *faults.Plan) (cluster.Config, error) {
 }
 
 // gridConfig assembles the grid-topology federation configuration.
-func gridConfig(s Scenario, plan *faults.Plan) (grid.Config, error) {
+func gridConfig(s Scenario, plan *faults.Plan, reg *obs.Registry) (grid.Config, error) {
 	objective, err := s.objective()
 	if err != nil {
 		return grid.Config{}, err
@@ -501,7 +526,7 @@ func gridConfig(s Scenario, plan *faults.Plan) (grid.Config, error) {
 		}
 		specs[i] = grid.ClusterSpec{
 			M:            c.Machines,
-			Portfolio:    cluster.DefaultPortfolio(&core.Options{Seed: s.Seed}),
+			Portfolio:    cluster.DefaultPortfolio(coreOptions(s, reg)),
 			Objective:    objective,
 			Policy:       policy,
 			Reservations: c.reservations(),
@@ -514,6 +539,7 @@ func gridConfig(s Scenario, plan *faults.Plan) (grid.Config, error) {
 		QueueDepth:   s.Routing.QueueDepth,
 		AdmitBacklog: s.Routing.AdmitBacklog,
 		Sequential:   s.Sequential,
+		Metrics:      reg,
 	}
 	if plan != nil {
 		cfg.Faults = plan
@@ -533,16 +559,19 @@ func gridConfig(s Scenario, plan *faults.Plan) (grid.Config, error) {
 
 // clusterRunner replays a single-topology scenario.
 type clusterRunner struct {
-	scn  Scenario
-	cfg  cluster.Config
-	jobs []online.Job
-	plan *faults.Plan
-	obs  Observer
+	scn   Scenario
+	cfg   cluster.Config
+	jobs  []online.Job
+	plan  *faults.Plan
+	reg   *obs.Registry
+	watch Observer
 }
 
 func (r *clusterRunner) Topology() Topology { return TopologySingle }
 
-func (r *clusterRunner) Observe(obs Observer) { r.obs = obs }
+func (r *clusterRunner) Observe(o Observer) { r.watch = o }
+
+func (r *clusterRunner) Metrics() *obs.Registry { return r.reg }
 
 func (r *clusterRunner) Info() Info {
 	return Info{
@@ -560,14 +589,14 @@ func (r *clusterRunner) Info() Info {
 
 func (r *clusterRunner) Run(ctx context.Context) (*Report, error) {
 	cfg := r.cfg
-	if obs := r.obs; obs.Batch != nil || obs.Kill != nil {
+	if watch := r.watch; watch.Batch != nil || watch.Kill != nil {
 		cfg.OnBatch = func(br cluster.BatchReport) {
-			if obs.Batch != nil {
-				obs.Batch(0, br)
+			if watch.Batch != nil {
+				watch.Batch(0, br)
 			}
-			if obs.Kill != nil {
-				for _, id := range br.Killed {
-					obs.Kill(0, br.Index, id)
+			if watch.Kill != nil {
+				for _, k := range br.KillEvents {
+					watch.Kill(0, k)
 				}
 			}
 		}
@@ -592,16 +621,19 @@ func (r *clusterRunner) Run(ctx context.Context) (*Report, error) {
 
 // gridRunner replays a grid-topology scenario.
 type gridRunner struct {
-	scn  Scenario
-	cfg  grid.Config
-	jobs []online.Job
-	plan *faults.Plan
-	obs  Observer
+	scn   Scenario
+	cfg   grid.Config
+	jobs  []online.Job
+	plan  *faults.Plan
+	reg   *obs.Registry
+	watch Observer
 }
 
 func (r *gridRunner) Topology() Topology { return TopologyGrid }
 
-func (r *gridRunner) Observe(obs Observer) { r.obs = obs }
+func (r *gridRunner) Observe(o Observer) { r.watch = o }
+
+func (r *gridRunner) Metrics() *obs.Registry { return r.reg }
 
 func (r *gridRunner) Info() Info {
 	return Info{
@@ -618,29 +650,29 @@ func (r *gridRunner) Info() Info {
 
 func (r *gridRunner) Run(ctx context.Context) (*Report, error) {
 	cfg := r.cfg
-	obs := r.obs
-	if obs.Decision != nil || obs.Migration != nil {
+	watch := r.watch
+	if watch.Decision != nil || watch.Migration != nil {
 		cfg.OnDecision = func(d grid.Decision) {
-			if obs.Decision != nil {
-				obs.Decision(d)
+			if watch.Decision != nil {
+				watch.Decision(d)
 			}
-			if obs.Migration != nil && d.Migrated {
-				obs.Migration(d)
+			if watch.Migration != nil && d.Migrated {
+				watch.Migration(d)
 			}
 		}
 	}
-	if obs.Batch != nil || obs.Kill != nil {
+	if watch.Batch != nil || watch.Kill != nil {
 		// Shards report concurrently; serialize the observer.
 		var mu sync.Mutex
 		cfg.OnBatch = func(shard int, br cluster.BatchReport) {
 			mu.Lock()
 			defer mu.Unlock()
-			if obs.Batch != nil {
-				obs.Batch(shard, br)
+			if watch.Batch != nil {
+				watch.Batch(shard, br)
 			}
-			if obs.Kill != nil {
-				for _, id := range br.Killed {
-					obs.Kill(shard, br.Index, id)
+			if watch.Kill != nil {
+				for _, k := range br.KillEvents {
+					watch.Kill(shard, k)
 				}
 			}
 		}

@@ -193,7 +193,12 @@ func TestObserverStreamsEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	kills := 0
-	fr.Observe(Observer{Kill: func(cluster, batch, taskID int) { kills++ }})
+	fr.Observe(Observer{Kill: func(c int, k cluster.KillEvent) {
+		kills++
+		if k.Time < k.Start {
+			t.Errorf("kill of task %d precedes its start: %v < %v", k.TaskID, k.Time, k.Start)
+		}
+	}})
 	frep, err := fr.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)

@@ -220,6 +220,20 @@ type Service struct {
 	SnapshotSeconds float64 `json:"snapshot_seconds,omitempty"`
 }
 
+// TraceSpec activates the structured event trace of a run: every batch,
+// routing decision, kill, migration and the final drain summary is
+// recorded with simulated-time stamps and rendered to Path when the run
+// completes. Traces of a seeded scenario are byte-identical across
+// replays, concurrent or sequential.
+type TraceSpec struct {
+	// Path is the output file. Required when the section is present.
+	Path string `json:"path"`
+	// Format is "chrome" (default: Chrome trace-event JSON, one track per
+	// cluster, viewable in perfetto or chrome://tracing) or "jsonl" (one
+	// structured event per line).
+	Format string `json:"format,omitempty"`
+}
+
 // Scenario is the complete declarative spec of one experiment: the single
 // input every layer of the stack — offline cluster replay, grid
 // federation, live service — compiles from.
@@ -255,6 +269,8 @@ type Scenario struct {
 	// Faults and Service are optional sections.
 	Faults  *Faults  `json:"faults,omitempty"`
 	Service *Service `json:"service,omitempty"`
+	// Trace, when present, renders the run's event stream to a file.
+	Trace *TraceSpec `json:"trace,omitempty"`
 }
 
 // Option mutates a scenario under construction; see New.
@@ -381,6 +397,12 @@ func WithFaults(f Faults) Option { return func(s *Scenario) { s.Faults = &f } }
 // WithService attaches a service-pacing section.
 func WithService(svc Service) Option { return func(s *Scenario) { s.Service = &svc } }
 
+// WithTrace renders the run's event stream to path; format is "chrome"
+// (default) or "jsonl".
+func WithTrace(path, format string) Option {
+	return func(s *Scenario) { s.Trace = &TraceSpec{Path: path, Format: format} }
+}
+
 // Normalized returns a copy with the resolvable defaults filled in: the
 // current version for a zero version and the inferred topology for an
 // empty one. Deeper zero-means-default fields (batch knobs, objective
@@ -467,7 +489,25 @@ func (s Scenario) Validate() error {
 	if err := s.Faults.validate(); err != nil {
 		return err
 	}
+	if err := s.Trace.validate(); err != nil {
+		return err
+	}
 	return s.Service.validate()
+}
+
+func (t *TraceSpec) validate() error {
+	if t == nil {
+		return nil
+	}
+	if t.Path == "" {
+		return validate.Errorf("trace.path", "a trace section needs an output path")
+	}
+	switch t.Format {
+	case "", "chrome", "jsonl":
+	default:
+		return validate.Errorf("trace.format", "unknown trace format %q (want chrome or jsonl)", t.Format)
+	}
+	return nil
 }
 
 func (s Scenario) validateStream() error {

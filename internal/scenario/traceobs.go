@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"bicriteria/internal/cluster"
+	"bicriteria/internal/grid"
+	"bicriteria/internal/obs"
+)
+
+// TraceObserver returns an Observer that records every batch, routing
+// decision, kill and migration of a run into the sink, stamped with
+// simulated time only — rendering the sink after a seeded replay
+// therefore yields byte-identical output whether the replay ran
+// sequentially or concurrently.
+func TraceObserver(sink *obs.Sink) Observer {
+	return Observer{
+		Batch: func(c int, br cluster.BatchReport) {
+			sink.Record(obs.Event{
+				Kind:    obs.KindBatch,
+				Cluster: c,
+				Batch:   br.Index,
+				Job:     -1,
+				Name:    br.Winner,
+				Start:   br.FireTime,
+				End:     br.FireTime + br.RealizedMakespan,
+				Tasks:   len(br.Jobs),
+			})
+		},
+		Decision: func(d grid.Decision) {
+			if d.Migrated {
+				// Recorded by the Migration callback under its own kind.
+				return
+			}
+			sink.Record(obs.Event{
+				Kind:    obs.KindDecision,
+				Cluster: d.Cluster,
+				Batch:   -1,
+				Job:     d.JobID,
+				Start:   d.Release,
+				End:     d.Release,
+				Backlog: d.Backlog,
+			})
+		},
+		Migration: func(d grid.Decision) {
+			sink.Record(obs.Event{
+				Kind:    obs.KindMigration,
+				Cluster: d.Cluster,
+				Batch:   -1,
+				Job:     d.JobID,
+				Start:   d.Release,
+				End:     d.Release,
+				Backlog: d.Backlog,
+			})
+		},
+		Kill: func(c int, k cluster.KillEvent) {
+			sink.Record(obs.Event{
+				Kind:    obs.KindKill,
+				Cluster: c,
+				Batch:   k.Batch,
+				Job:     k.TaskID,
+				Start:   k.Start,
+				End:     k.Time,
+			})
+		},
+	}
+}
+
+// RecordDrain closes a trace with the run-level summary event: the full
+// horizon of the replay as one span on the grid track.
+func RecordDrain(sink *obs.Sink, rep *Report) {
+	sink.Record(obs.Event{
+		Kind:    obs.KindDrain,
+		Cluster: -1,
+		Batch:   -1,
+		Job:     -1,
+		Start:   0,
+		End:     rep.Makespan(),
+		Tasks:   rep.Jobs,
+	})
+}
+
+// MergeObservers chains two observers: each callback of the result
+// invokes a's then b's corresponding callback when set. Used to stack a
+// trace sink under a caller's own observer without either knowing about
+// the other.
+func MergeObservers(a, b Observer) Observer {
+	return Observer{
+		Batch: func(c int, br cluster.BatchReport) {
+			if a.Batch != nil {
+				a.Batch(c, br)
+			}
+			if b.Batch != nil {
+				b.Batch(c, br)
+			}
+		},
+		Decision: func(d grid.Decision) {
+			if a.Decision != nil {
+				a.Decision(d)
+			}
+			if b.Decision != nil {
+				b.Decision(d)
+			}
+		},
+		Kill: func(c int, k cluster.KillEvent) {
+			if a.Kill != nil {
+				a.Kill(c, k)
+			}
+			if b.Kill != nil {
+				b.Kill(c, k)
+			}
+		},
+		Migration: func(d grid.Decision) {
+			if a.Migration != nil {
+				a.Migration(d)
+			}
+			if b.Migration != nil {
+				b.Migration(d)
+			}
+		},
+	}
+}

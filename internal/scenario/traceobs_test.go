@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"bicriteria/internal/cluster"
+	"bicriteria/internal/obs"
+)
+
+// traceScenario is the seeded grid scenario of the determinism tests:
+// heavy faults so every event kind (batches, decisions, kills,
+// migrations) appears in the stream.
+func traceScenario(sequential bool) Scenario {
+	return Scenario{
+		Version:    Version,
+		Seed:       11,
+		Topology:   TopologyGrid,
+		Clusters:   []Cluster{{Machines: 16}, {Machines: 8}, {Machines: 8}},
+		Workload:   Workload{Kind: "mixed", Jobs: 50},
+		Arrivals:   Arrivals{Rate: 6, Burst: 4},
+		Noise:      0.2,
+		Faults:     &Faults{MTBF: 10, Repair: 4, ShardMTBF: 12, ShardRepair: 8},
+		Sequential: sequential,
+	}
+}
+
+// renderTrace replays the scenario with a trace observer and renders the
+// sink in the given format.
+func renderTrace(t *testing.T, s Scenario, format string) ([]byte, *Report) {
+	t.Helper()
+	r, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewSink()
+	r.Observe(TraceObserver(sink))
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	RecordDrain(sink, rep)
+	var buf bytes.Buffer
+	if err := sink.Write(&buf, format); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+// TestTraceByteIdenticalAcrossReplayModes pins the determinism contract
+// of the trace pipeline: a seeded grid scenario renders byte-identical
+// traces whether the shards replay concurrently or sequentially, in both
+// output formats.
+func TestTraceByteIdenticalAcrossReplayModes(t *testing.T) {
+	for _, format := range []string{obs.FormatChrome, obs.FormatJSONL} {
+		t.Run(format, func(t *testing.T) {
+			concurrent, _ := renderTrace(t, traceScenario(false), format)
+			sequential, _ := renderTrace(t, traceScenario(true), format)
+			if !bytes.Equal(concurrent, sequential) {
+				t.Fatalf("concurrent and sequential replays rendered different %s traces (%d vs %d bytes)",
+					format, len(concurrent), len(sequential))
+			}
+			rerun, _ := renderTrace(t, traceScenario(false), format)
+			if !bytes.Equal(concurrent, rerun) {
+				t.Fatalf("two concurrent replays rendered different %s traces", format)
+			}
+		})
+	}
+}
+
+// TestTraceEventsReconcileWithReport checks that the trace's event
+// counts agree with the final report: every committed batch, routing
+// decision and kill of the report appears exactly once in the sink.
+func TestTraceEventsReconcileWithReport(t *testing.T) {
+	s := traceScenario(false)
+	r, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewSink()
+	r.Observe(TraceObserver(sink))
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	RecordDrain(sink, rep)
+
+	counts := map[obs.Kind]int{}
+	for _, ev := range sink.Events() {
+		counts[ev.Kind]++
+	}
+
+	batches := 0
+	for _, crep := range rep.Grid.Clusters {
+		batches += len(crep.Batches)
+	}
+	if counts[obs.KindBatch] != batches {
+		t.Errorf("trace has %d batch events, report has %d batches", counts[obs.KindBatch], batches)
+	}
+	migrations := 0
+	for _, d := range rep.Grid.Decisions {
+		if d.Migrated {
+			migrations++
+		}
+	}
+	if got := counts[obs.KindDecision] + counts[obs.KindMigration]; got != len(rep.Grid.Decisions) {
+		t.Errorf("trace has %d decision+migration events, report has %d decisions", got, len(rep.Grid.Decisions))
+	}
+	if counts[obs.KindMigration] != migrations {
+		t.Errorf("trace has %d migration events, report has %d migrated decisions", counts[obs.KindMigration], migrations)
+	}
+	kills := 0
+	for _, crep := range rep.Grid.Clusters {
+		kills += len(crep.Kills)
+	}
+	if counts[obs.KindKill] != kills {
+		t.Errorf("trace has %d kill events, report has %d kills", counts[obs.KindKill], kills)
+	}
+	if counts[obs.KindKill] == 0 {
+		t.Error("fault scenario produced no kill events; the trace path is untested")
+	}
+	if counts[obs.KindMigration] == 0 {
+		t.Error("shard-fault scenario produced no migration events; the trace path is untested")
+	}
+	if counts[obs.KindDrain] != 1 {
+		t.Errorf("trace has %d drain events, want 1", counts[obs.KindDrain])
+	}
+}
+
+// TestRunnerMetricsPopulated checks the compiled runner's registry
+// accumulates the timing histograms during a replay and renders as valid
+// Prometheus text.
+func TestRunnerMetricsPopulated(t *testing.T) {
+	r, err := Compile(traceScenario(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families, err := obs.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("runner registry rendered invalid Prometheus text: %v\n%s", err, buf.String())
+	}
+	names := map[string]bool{}
+	for _, f := range families {
+		names[f.Name] = true
+	}
+	for _, want := range []string{
+		"bicrit_portfolio_algorithm_seconds",
+		"bicrit_batch_schedule_seconds",
+		"bicrit_grid_route_stream_seconds",
+		"bicrit_demt_phase_seconds",
+	} {
+		if !names[want] {
+			t.Errorf("registry is missing family %s after a replay; have %s",
+				want, strings.Join(sortedNames(names), ", "))
+		}
+	}
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	// Order does not matter for the error message; keep it simple.
+	return out
+}
+
+// TestMergeObservers checks both chained observers see every event.
+func TestMergeObservers(t *testing.T) {
+	var a, b int
+	count := func(n *int) Observer {
+		return Observer{
+			Batch: func(int, cluster.BatchReport) { *n++ },
+		}
+	}
+	merged := MergeObservers(count(&a), count(&b))
+	merged.Batch(0, cluster.BatchReport{})
+	merged.Batch(1, cluster.BatchReport{})
+	if a != 2 || b != 2 {
+		t.Fatalf("merged observer dispatched a=%d b=%d, want 2 and 2", a, b)
+	}
+}

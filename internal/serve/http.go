@@ -97,6 +97,13 @@ type HealthResponse struct {
 	Status     string  `json:"status"`
 	VirtualNow float64 `json:"virtual_now"`
 	Jobs       int     `json:"jobs"`
+	// UptimeSeconds is the wall-clock age of the process.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// SnapshotAgeSeconds is the wall-clock age of the last successful
+	// snapshot write — or the process age while none has been written yet,
+	// so a wedged snapshot loop shows as a growing age either way. Absent
+	// when snapshots are disabled.
+	SnapshotAgeSeconds *float64 `json:"snapshot_age_seconds,omitempty"`
 	// RefreshError and SnapshotError surface background-loop failures.
 	RefreshError  string `json:"refresh_error,omitempty"`
 	SnapshotError string `json:"snapshot_error,omitempty"`
@@ -112,17 +119,21 @@ const (
 
 // Handler returns the HTTP API of the service:
 //
-//	POST /jobs     submit one job or a bulk batch
-//	GET  /jobs/{id} live status of a job
-//	GET  /metrics  counters, state counts, distributions, grid aggregate
-//	GET  /healthz  liveness and drain state
-//	POST /drain    graceful drain; responds with the final report
+//	POST /jobs         submit one job or a bulk batch
+//	GET  /jobs/{id}    live status of a job
+//	GET  /metrics      counters, state counts, distributions, grid aggregate
+//	GET  /metrics.prom the same state in the Prometheus text format
+//	GET  /healthz      liveness, drain state, uptime, snapshot age
+//	GET  /version      build information
+//	POST /drain        graceful drain; responds with the final report
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.prom", s.handlePromMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("POST /drain", s.handleDrain)
 	return mux
 }
@@ -297,12 +308,22 @@ func (s *Server) state() string {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	now := s.pacer.wall()
 	resp := HealthResponse{
-		Status:     s.state(),
-		VirtualNow: s.Now(),
-		Jobs:       s.Jobs(),
+		Status:        s.state(),
+		VirtualNow:    s.Now(),
+		Jobs:          s.Jobs(),
+		UptimeSeconds: now.Sub(s.started).Seconds(),
 	}
 	s.liveMu.RLock()
+	if s.cfg.SnapshotPath != "" {
+		since := s.lastSnapshot
+		if since.IsZero() {
+			since = s.started
+		}
+		age := now.Sub(since).Seconds()
+		resp.SnapshotAgeSeconds = &age
+	}
 	if s.refreshErr != nil {
 		resp.RefreshError = s.refreshErr.Error()
 	}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"bicriteria/internal/buildinfo"
+	"bicriteria/internal/obs"
+	"bicriteria/internal/stats"
+)
+
+// syncProm mirrors the server's live state into the obs registry right
+// before a scrape. The timing histograms (portfolio, batch planning,
+// routing) are fed directly by the federation; everything the server
+// keeps under its own mutexes — admission counters, job states, queue
+// depths, the stretch/wait distributions recomputed over the done jobs —
+// is pinned here, so a scrape always reflects the same state the JSON
+// /metrics endpoint reports.
+func (s *Server) syncProm() {
+	r := s.obs
+	r.Gauge("bicrit_build_info",
+		"Build information; the value is always 1, the labels carry the versions.",
+		obs.L("version", buildinfo.Version), obs.L("go", buildinfo.GoVersion())).Set(1)
+
+	r.Gauge("bicrit_serve_virtual_now", "Current virtual time of the pacer.").Set(s.Now())
+	r.Gauge("bicrit_serve_speedup", "Virtual time units per wall-clock second.").Set(s.cfg.Speedup)
+	r.Gauge("bicrit_serve_uptime_seconds", "Wall-clock age of the process.").
+		Set(s.pacer.wall().Sub(s.started).Seconds())
+
+	c := s.CountersSnapshot()
+	r.Counter("bicrit_serve_submitted_total", "Jobs admitted, snapshot-restored jobs included.").
+		Sync(float64(c.Submitted))
+	r.Counter("bicrit_serve_restored_total", "Jobs restored from a snapshot.").
+		Sync(float64(c.Restored))
+	rej := func(reason string, n int) {
+		r.Counter("bicrit_serve_rejected_total", "Submissions refused, by reason.",
+			obs.L("reason", reason)).Sync(float64(n))
+	}
+	rej("rate-limit", c.RejectedRate)
+	rej("backlog", c.RejectedBacklog)
+	rej("queue-full", c.RejectedQueue)
+
+	for state, n := range s.reg.stateCounts() {
+		r.Gauge("bicrit_serve_jobs", "Admitted jobs by lifecycle state.",
+			obs.L("state", state)).Set(float64(n))
+	}
+	for i, ch := range s.shards {
+		r.Gauge("bicrit_serve_queue_depth", "Occupancy of each submission queue shard.",
+			obs.L("shard", strconv.Itoa(i))).Set(float64(len(ch)))
+	}
+
+	stretchHist, _ := stats.NewHistogram(stretchHistLo, stretchHistHi, stretchHistBuckets)
+	waitHist, _ := stats.NewHistogram(waitHistLo, waitHistHi, waitHistBuckets)
+	s.reg.eachDone(func(j JobStatus) {
+		stretchHist.Observe(j.Stretch)
+		wait := j.Wait
+		if wait < waitHistLo {
+			wait = waitHistLo
+		}
+		waitHist.Observe(wait)
+	})
+	r.Histogram("bicrit_serve_stretch", "Per-job stretch of the completed jobs.",
+		obs.LogBuckets(stretchHistLo, stretchHistHi, stretchHistBuckets)).
+		SetFrom(stretchHist.Snapshot(), stretchHist.Sum())
+	r.Histogram("bicrit_serve_wait_virtual_seconds",
+		"Virtual wait time (start minus release) of the completed jobs.",
+		obs.LogBuckets(waitHistLo, waitHistHi, waitHistBuckets)).
+		SetFrom(waitHist.Snapshot(), waitHist.Sum())
+}
+
+// handlePromMetrics serves GET /metrics.prom: the obs registry in the
+// Prometheus text exposition format.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncProm()
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.obs.WritePrometheus(w)
+}
+
+// VersionResponse is the body of GET /version.
+type VersionResponse struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+}
+
+// handleVersion serves GET /version.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{Version: buildinfo.Version, Go: buildinfo.GoVersion()})
+}
+
+// DebugHandler returns the net/http/pprof endpoints on their standard
+// /debug/pprof/ paths, as an explicit mux (nothing leaks onto
+// http.DefaultServeMux). The CLIs bind it to a separate listener behind
+// -debug-addr, keeping profiling off the public API port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

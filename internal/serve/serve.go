@@ -44,6 +44,7 @@ import (
 
 	"bicriteria/internal/grid"
 	"bicriteria/internal/moldable"
+	"bicriteria/internal/obs"
 	"bicriteria/internal/online"
 	"bicriteria/internal/validate"
 )
@@ -101,6 +102,12 @@ type Config struct {
 	SnapshotInterval time.Duration
 	// Clock injects a wall clock for tests; nil means time.Now.
 	Clock func() time.Time
+	// Metrics injects a shared observability registry; nil means a fresh
+	// one. Either way the server publishes its admission counters, state
+	// gauges and latency distributions into it, threads it through the
+	// federation (portfolio and routing timings land in the same scrape)
+	// and serves it in the Prometheus text format at GET /metrics.prom.
+	Metrics *obs.Registry
 }
 
 // Counters are the monotone admission statistics of a service.
@@ -198,6 +205,13 @@ type Server struct {
 	liveAt      float64
 	refreshErr  error
 	snapshotErr error
+	// lastSnapshot is the wall time of the last successful snapshot write
+	// (zero while none has been written); /healthz turns it into an age so
+	// probes can spot a wedged snapshot loop.
+	lastSnapshot time.Time
+
+	// obs is the Prometheus-style registry behind GET /metrics.prom.
+	obs *obs.Registry
 
 	started  time.Time
 	stopCh   chan struct{}
@@ -254,6 +268,12 @@ func NewServer(cfg Config) (*Server, error) {
 	// callback would fire once per replay, not once per job.
 	cfg.Grid.OnDecision = nil
 	cfg.Grid.OnBatch = nil
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	// One registry for the whole process: shard portfolio latencies and
+	// routing timings land in the same scrape as the service's own series.
+	cfg.Grid.Metrics = cfg.Metrics
 	fed, err := grid.New(cfg.Grid)
 	if err != nil {
 		return nil, validate.Prefix("grid", err)
@@ -269,6 +289,7 @@ func NewServer(cfg Config) (*Server, error) {
 		fed:        fed,
 		totalProcs: total,
 		reg:        newRegistry(),
+		obs:        cfg.Metrics,
 		stopCh:     make(chan struct{}),
 		loopCtx:    loopCtx,
 		loopCancel: loopCancel,
@@ -407,6 +428,10 @@ func (s *Server) CountersSnapshot() Counters {
 	defer s.mu.Unlock()
 	return s.counters
 }
+
+// Metrics returns the server's observability registry — the one behind
+// GET /metrics.prom, shared with the federation's timing histograms.
+func (s *Server) Metrics() *obs.Registry { return s.obs }
 
 // Draining reports whether admissions are closed.
 func (s *Server) Draining() bool {

@@ -85,7 +85,13 @@ func (s *Server) writeSnapshot() error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), s.cfg.SnapshotPath)
+	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+		return err
+	}
+	s.liveMu.Lock()
+	s.lastSnapshot = s.pacer.wall()
+	s.liveMu.Unlock()
+	return nil
 }
 
 // restoreSnapshot loads a checkpoint if one exists at path, rebuilding the

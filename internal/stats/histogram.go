@@ -22,6 +22,7 @@ type Histogram struct {
 	under  int
 	over   int
 	total  int
+	sum    float64
 }
 
 // HistogramBucket is one bucket of a snapshot: the half-open value range
@@ -71,6 +72,7 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.total++
+	h.sum += v
 	if v < h.lo {
 		h.under++
 		return
@@ -103,6 +105,10 @@ func (h *Histogram) bound(i int) float64 {
 // Count returns the total number of observations, including under- and
 // overflow.
 func (h *Histogram) Count() int { return h.total }
+
+// Sum returns the sum of all observed values, under- and overflow
+// included, matching the Prometheus histogram _sum convention.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Snapshot returns the current bucket counts in a JSON-friendly shape.
 func (h *Histogram) Snapshot() HistogramSnapshot {
