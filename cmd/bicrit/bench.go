@@ -1,152 +1,134 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"os/exec"
+	"strings"
 	"testing"
+	"time"
 
-	"bicriteria"
 	"bicriteria/cmd/internal/cliutil"
+	"bicriteria/internal/perf"
 )
 
-// benchResult is one benchmark's measurement in the BENCH_smoke.json
-// artifact.
-type benchResult struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
-
-// benchCmd runs the replay smoke benchmarks — the cluster engine and the
-// grid federation on their standard bursty streams, the same
-// configurations as the repo's BenchmarkClusterReplay and
-// BenchmarkGridReplay — and writes the measurements as JSON. CI runs it
-// on every push and uploads the artifact, giving a per-commit
-// performance trail without a full `go test -bench` sweep.
+// benchCmd runs the perf observatory's benchmark suite — every
+// instrumented hot path, from DEMT's internal phases to the serve
+// layer's bulk ingest — and records the measurements as a versioned
+// BENCH trajectory (commit, go version, GOMAXPROCS, timestamp,
+// ns/op + allocs/op + B/op per benchmark). With -compare it prints the
+// per-benchmark delta table against a previous trajectory, and with
+// -gate it exits nonzero when any benchmark regressed past the
+// threshold — the regression gate CI runs on every push.
+//
+//	bicrit bench                                   # run all, write BENCH_smoke.json
+//	bicrit bench -list                             # enumerate benchmark names
+//	bicrit bench -run 'GridReplay/'                # run a subset, go test -bench style
+//	bicrit bench -compare old.json -gate 1.25      # run, diff, fail on >1.25x ns/op
+//	bicrit bench -compare old.json new.json        # diff two recorded files, run nothing
 func benchCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bicrit bench", flag.ContinueOnError)
-	outPath := fs.String("o", "BENCH_smoke.json", "output file of the JSON measurements")
+	outPath := fs.String("o", "BENCH_smoke.json", "output file of the JSON trajectory")
 	benchtime := fs.Duration("benchtime", 0, "minimum run time per benchmark (0 = the testing default 1s)")
+	list := fs.Bool("list", false, "print the benchmark names (after -run filtering) and exit")
+	runPat := fs.String("run", "", "only run benchmarks matching this regexp, like go test -bench")
+	comparePath := fs.String("compare", "", "BENCH file to diff the new measurements against")
+	gate := fs.Float64("gate", 0, "with -compare: fail when any ns/op regressed past this factor (e.g. 1.25), or a benchmark disappeared")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 0 {
-		return fmt.Errorf("usage: bicrit bench [-o BENCH_smoke.json]")
+	if fs.NArg() > 1 {
+		return fmt.Errorf("usage: bicrit bench [-list] [-run re] [-o BENCH.json] [-compare old.json [-gate 1.25]] [new.json]")
 	}
-	if *benchtime != 0 {
-		// testing.Benchmark honours the -test.benchtime flag; Init registers
-		// it on the global flag set (which bicrit's subcommands don't use).
-		testing.Init()
-		if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+	if *gate != 0 && *comparePath == "" {
+		return fmt.Errorf("-gate needs -compare: a threshold without a baseline gates nothing")
+	}
+	if fs.NArg() == 1 && *comparePath == "" {
+		return fmt.Errorf("a positional BENCH file only makes sense with -compare (file-vs-file mode)")
+	}
+
+	selected, err := perf.Select(*runPat)
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, b := range selected {
+			fmt.Fprintln(out, b.Name)
+		}
+		return nil
+	}
+
+	var current perf.Trajectory
+	if fs.NArg() == 1 {
+		// File-vs-file mode: diff two recorded trajectories, run nothing.
+		if current, err = perf.LoadTrajectory(fs.Arg(0)); err != nil {
+			return err
+		}
+	} else {
+		if *benchtime != 0 {
+			// testing.Benchmark honours the -test.benchtime flag; Init registers
+			// it on the global flag set (which bicrit's subcommands don't use).
+			testing.Init()
+			if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+				return err
+			}
+		}
+		results := make([]perf.Result, len(selected))
+		for i, b := range selected {
+			if results[i], err = perf.Run(b); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-28s %12.0f ns/op %8d allocs/op %12d B/op\n",
+				results[i].Name, results[i].NsPerOp, results[i].AllocsPerOp, results[i].BytesPerOp)
+		}
+		current = perf.NewTrajectory(results, currentCommit(), time.Now())
+		if err := cliutil.WriteFile(*outPath, func(w io.Writer) error {
+			return perf.WriteTrajectory(w, current)
+		}); err != nil {
 			return err
 		}
 	}
 
-	results := []benchResult{
-		runBench("ClusterReplay", benchClusterReplay),
-		runBench("GridReplay/clusters=4", func(b *testing.B) { benchGridReplay(b, 4) }),
+	if *comparePath == "" {
+		return nil
 	}
-	for _, r := range results {
-		fmt.Fprintf(out, "%-24s %12.0f ns/op %8d allocs/op %12d B/op\n",
-			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	old, err := perf.LoadTrajectory(*comparePath)
+	if err != nil {
+		return err
 	}
-	return cliutil.WriteFile(*outPath, func(w io.Writer) error {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(results)
-	})
+	deltas := perf.Compare(old, current)
+	fmt.Fprintf(out, "\ncomparing against %s", *comparePath)
+	if old.Commit != "" {
+		fmt.Fprintf(out, " (commit %s)", old.Commit)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, perf.FormatDeltas(deltas))
+	if *gate == 0 {
+		return nil
+	}
+	failures, err := perf.Gate(deltas, *gate)
+	if err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate (threshold %gx) failed:\n  %s", *gate, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(out, "perf gate passed: no benchmark regressed past %gx\n", *gate)
+	return nil
 }
 
-// runBench executes one benchmark function under the testing harness and
-// flattens the result.
-func runBench(name string, fn func(b *testing.B)) benchResult {
-	res := testing.Benchmark(fn)
-	return benchResult{
-		Name:        name,
-		N:           res.N,
-		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-		AllocsPerOp: res.AllocsPerOp(),
-		BytesPerOp:  res.AllocedBytesPerOp(),
+// currentCommit resolves the revision being measured: CI's GITHUB_SHA
+// when set, otherwise a quiet git lookup, otherwise empty (trajectories
+// stay comparable without it).
+func currentCommit() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
 	}
-}
-
-// benchClusterReplay mirrors the repo's BenchmarkClusterReplay (scaled
-// configuration): the event-driven cluster engine replaying a bursty
-// Poisson stream with the concurrent portfolio, noisy runtimes and a
-// reservation.
-func benchClusterReplay(b *testing.B) {
-	const m, n = 64, 150
-	arrivals, err := bicriteria.GenerateArrivals(bicriteria.ArrivalConfig{
-		Workload:  bicriteria.WorkloadConfig{Kind: bicriteria.WorkloadMixed, M: m, N: n, Seed: 42},
-		Rate:      4,
-		BurstSize: 6,
-	})
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
 	if err != nil {
-		b.Fatal(err)
+		return ""
 	}
-	jobs := bicriteria.ArrivalJobs(arrivals)
-	perturb, err := bicriteria.UniformRuntimeNoise(0.2, 42)
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng, err := bicriteria.NewClusterEngine(bicriteria.ClusterConfig{
-		M:         m,
-		Objective: bicriteria.ClusterObjective{Kind: bicriteria.ClusterObjectiveCombined, Alpha: 0.5},
-		Perturb:   perturb,
-		Reservations: []bicriteria.Reservation{
-			{Name: "maint", Procs: m / 8, Start: 10, End: 30},
-		},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(jobs); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// benchGridReplay mirrors the repo's BenchmarkGridReplay: the grid
-// federation replaying one fixed 500-job burst-heavy stream across
-// `clusters` shards.
-func benchGridReplay(b *testing.B, clusters int) {
-	const perCluster = 32
-	arrivals, err := bicriteria.GenerateArrivals(bicriteria.ArrivalConfig{
-		Workload:  bicriteria.WorkloadConfig{Kind: bicriteria.WorkloadMixed, M: perCluster, N: 500, Seed: 42},
-		Rate:      100,
-		BurstSize: 125,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	jobs := bicriteria.ArrivalJobs(arrivals)
-	specs := make([]bicriteria.GridClusterSpec, clusters)
-	for i := range specs {
-		perturb, err := bicriteria.UniformRuntimeNoise(0.2, int64(42+i))
-		if err != nil {
-			b.Fatal(err)
-		}
-		specs[i] = bicriteria.GridClusterSpec{M: perCluster, Perturb: perturb}
-	}
-	fed, err := bicriteria.NewGrid(bicriteria.GridConfig{
-		Clusters: specs,
-		Routing:  bicriteria.GridLeastBacklog(),
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := fed.Run(jobs); err != nil {
-			b.Fatal(err)
-		}
-	}
+	return strings.TrimSpace(string(out))
 }

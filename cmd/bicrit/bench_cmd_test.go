@@ -2,43 +2,200 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"bicriteria/internal/perf"
 )
 
-// TestBenchCmdEmitsJSON smokes `bicrit bench`: with a tiny benchtime it
-// must still emit a well-formed BENCH_smoke.json with both replay
-// benchmarks measured.
-func TestBenchCmdEmitsJSON(t *testing.T) {
+// fastBench are cheap suite members the CLI tests run end to end.
+const fastBench = "^(Portfolio/gang|Portfolio/seq-lpt)$"
+
+// TestBenchCmdEmitsTrajectory smokes `bicrit bench`: with a tiny
+// benchtime and a -run filter it must emit a well-formed schema-2
+// trajectory with metadata and the selected measurements.
+func TestBenchCmdEmitsTrajectory(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_smoke.json")
 	var buf bytes.Buffer
-	if err := benchCmd([]string{"-o", out, "-benchtime", "1ms"}, &buf); err != nil {
+	if err := benchCmd([]string{"-o", out, "-benchtime", "1ms", "-run", fastBench}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(out)
+	tr, err := perf.LoadTrajectory(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var results []benchResult
-	if err := json.Unmarshal(data, &results); err != nil {
-		t.Fatalf("bad JSON: %v\n%s", err, data)
+	if tr.Schema != perf.SchemaVersion || tr.GoVersion == "" || tr.GOMAXPROCS < 1 || tr.Timestamp == "" {
+		t.Fatalf("trajectory metadata: %+v", tr)
 	}
-	if len(results) != 2 {
-		t.Fatalf("got %d results, want 2", len(results))
+	if len(tr.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(tr.Results))
 	}
-	names := map[string]bool{}
-	for _, r := range results {
-		names[r.Name] = true
-		if r.N <= 0 || r.NsPerOp <= 0 {
-			t.Errorf("%s: n=%d ns/op=%g, want positive", r.Name, r.N, r.NsPerOp)
+	for _, r := range tr.Results {
+		if r.N <= 0 || r.NsPerOp <= 0 || r.AllocsPerOp <= 0 {
+			t.Errorf("%s: n=%d ns/op=%g allocs/op=%d, want positive", r.Name, r.N, r.NsPerOp, r.AllocsPerOp)
 		}
-		if r.AllocsPerOp <= 0 {
-			t.Errorf("%s: allocs/op=%d, want positive", r.Name, r.AllocsPerOp)
+		if !strings.Contains(buf.String(), r.Name) {
+			t.Errorf("run log lacks %s:\n%s", r.Name, buf.String())
 		}
 	}
-	if !names["ClusterReplay"] || !names["GridReplay/clusters=4"] {
-		t.Fatalf("unexpected benchmark set: %v", names)
+}
+
+// TestBenchCmdList pins the -list ergonomics: names only, no benchmarks
+// run, no file written, -run filters the listing.
+func TestBenchCmdList(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_smoke.json")
+	var buf bytes.Buffer
+	if err := benchCmd([]string{"-o", out, "-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatalf("-list must not write the trajectory file: %v", err)
+	}
+	names := strings.Fields(buf.String())
+	if len(names) != len(perf.Suite()) {
+		t.Fatalf("listed %d names, suite has %d:\n%s", len(names), len(perf.Suite()), buf.String())
+	}
+	for _, want := range []string{"DEMT/knapsack", "GridReplay/clusters=8", "ServeBulkIngest"} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Errorf("listing lacks %s", want)
+		}
+	}
+
+	buf.Reset()
+	if err := benchCmd([]string{"-list", "-run", "^GridReplay/"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Fields(buf.String())); got != 3 {
+		t.Fatalf("-run filter listed %d names, want 3:\n%s", got, buf.String())
+	}
+	if err := benchCmd([]string{"-list", "-run", "NoSuchBenchmark"}, &buf); err == nil {
+		t.Fatal("want error for a -run pattern matching nothing")
+	}
+}
+
+// writeBench records a trajectory file for the compare-mode tests.
+func writeBench(t *testing.T, dir, name string, results []perf.Result) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := perf.WriteTrajectory(f, perf.Trajectory{Schema: perf.SchemaVersion, Commit: "test", Results: results}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchCmdCompareAndGate drives the file-vs-file compare mode
+// through every gate outcome: clean pass, improvement, injected 2x
+// regression, disappeared benchmark, and schema rejection — the exact
+// semantics the CI perf-gate job relies on for its exit code.
+func TestBenchCmdCompareAndGate(t *testing.T) {
+	dir := t.TempDir()
+	base := []perf.Result{
+		{Name: "ClusterReplay", N: 10, NsPerOp: 1e7, AllocsPerOp: 5000, BytesPerOp: 800000},
+		{Name: "ScenarioCompile", N: 50, NsPerOp: 2e6, AllocsPerOp: 900, BytesPerOp: 120000},
+	}
+	old := writeBench(t, dir, "old.json", base)
+
+	improved := append([]perf.Result(nil), base...)
+	improved[0].NsPerOp /= 2
+	slowed := append([]perf.Result(nil), base...)
+	slowed[0].NsPerOp *= 2
+	missing := base[1:]
+
+	run := func(args ...string) (string, error) {
+		var buf bytes.Buffer
+		err := benchCmd(args, &buf)
+		return buf.String(), err
+	}
+
+	// Identical trajectories pass the gate and print the table.
+	out, err := run("-compare", old, "-gate", "1.25", writeBench(t, dir, "same.json", base))
+	if err != nil {
+		t.Fatalf("identical: %v\n%s", err, out)
+	}
+	for _, want := range []string{"old ns/op", "ClusterReplay", "perf gate passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("identical compare output lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Improvements pass.
+	if out, err = run("-compare", old, "-gate", "1.25", writeBench(t, dir, "improved.json", improved)); err != nil {
+		t.Fatalf("improvement tripped the gate: %v\n%s", err, out)
+	}
+
+	// A 2x slowdown fails a 1.25 gate, and the error names the benchmark.
+	out, err = run("-compare", old, "-gate", "1.25", writeBench(t, dir, "slowed.json", slowed))
+	if err == nil {
+		t.Fatalf("2x slowdown passed the gate:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "ClusterReplay") || !strings.Contains(err.Error(), "2.00x") {
+		t.Errorf("gate error: %v", err)
+	}
+	// ...but is only reported, not fatal, without -gate.
+	if out, err = run("-compare", old, filepath.Join(dir, "slowed.json")); err != nil {
+		t.Fatalf("-compare without -gate must not fail: %v", err)
+	} else if !strings.Contains(out, "+100.0%") {
+		t.Errorf("delta table lacks the regression:\n%s", out)
+	}
+
+	// A disappeared benchmark fails the gate whatever the threshold.
+	out, err = run("-compare", old, "-gate", "10", writeBench(t, dir, "missing.json", missing))
+	if err == nil || !strings.Contains(err.Error(), "disappeared") {
+		t.Fatalf("missing benchmark: err = %v\n%s", err, out)
+	}
+
+	// Unknown schema files are rejected, not misread.
+	badSchema := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badSchema, []byte(`{"schema": 99, "results": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run("-compare", old, badSchema); err == nil || !strings.Contains(err.Error(), "unsupported BENCH schema") {
+		t.Fatalf("unknown schema: err = %v", err)
+	}
+	if _, err := run("-compare", badSchema, filepath.Join(dir, "same.json")); err == nil {
+		t.Fatal("unknown schema baseline must be rejected")
+	}
+
+	// Flag misuse is caught eagerly.
+	if _, err := run("-gate", "1.25"); err == nil {
+		t.Fatal("-gate without -compare must fail")
+	}
+	if _, err := run(filepath.Join(dir, "same.json")); err == nil {
+		t.Fatal("positional file without -compare must fail")
+	}
+	if _, err := run("-compare", old, "-gate", "0.8", filepath.Join(dir, "same.json")); err == nil {
+		t.Fatal("gate threshold below 1 must fail")
+	}
+}
+
+// TestBenchCmdRunAndCompare exercises the CI shape end to end: run a
+// cheap subset, then gate the fresh measurements against a recorded
+// baseline of the same subset (self-consistent, so the gate passes with
+// a generous threshold).
+func TestBenchCmdRunAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.json")
+	var buf bytes.Buffer
+	if err := benchCmd([]string{"-o", first, "-benchtime", "1ms", "-run", fastBench}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	second := filepath.Join(dir, "second.json")
+	buf.Reset()
+	// Millisecond benchtimes are noisy; this only asserts the plumbing
+	// (run -> write -> load -> compare -> gate) with a huge threshold.
+	if err := benchCmd([]string{"-o", second, "-benchtime", "1ms", "-run", fastBench,
+		"-compare", first, "-gate", "1000"}, &buf); err != nil {
+		t.Fatalf("run+compare+gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "comparing against "+first) {
+		t.Errorf("output lacks the compare header:\n%s", buf.String())
 	}
 }

@@ -23,6 +23,19 @@
 //
 //     bicrit gen -topology grid -clusters 64,32,16 -n 300 -rate 6 -o scenario.json
 //
+//   - bench: run the perf observatory's benchmark suite over every
+//     instrumented hot path and record a versioned BENCH trajectory;
+//     -compare diffs against a previous trajectory and -gate fails the
+//     run on regressions (the CI perf gate).
+//
+//     bicrit bench -compare testdata/BENCH_baseline.json -gate 1.25
+//
+//   - top: live terminal dashboard polling a running service's
+//     GET /metrics.prom — counter rates, queue depths and histogram
+//     quantiles diffed between scrapes.
+//
+//     bicrit top -url http://127.0.0.1:8080/metrics.prom
+//
 // Scenario files are versioned JSON; unknown fields and versions are
 // rejected at load time. See the README's "One scenario file, every
 // layer" walkthrough.
@@ -56,17 +69,20 @@ func dispatch(args []string) error {
 		return genCmd(args[1:], os.Stdout)
 	case "bench":
 		return benchCmd(args[1:], os.Stdout)
+	case "top":
+		return topCmd(args[1:], os.Stdout)
 	case "-version", "--version", "version":
 		fmt.Printf("bicrit %s (%s)\n", bicriteria.Version, runtime.Version())
 		return nil
 	case "-h", "-help", "--help", "help":
-		fmt.Println("usage: bicrit <run|serve|gen|bench> [flags]")
+		fmt.Println("usage: bicrit <run|serve|gen|bench|top> [flags]")
 		fmt.Println("  run    replay a scenario file offline and print the report")
 		fmt.Println("  serve  run a scenario file as a live scheduler service")
 		fmt.Println("  gen    write a scenario file from flags")
-		fmt.Println("  bench  run the replay smoke benchmarks and emit JSON results")
+		fmt.Println("  bench  run the hot-path benchmark suite; -compare/-gate diff and gate trajectories")
+		fmt.Println("  top    live terminal dashboard over a service's /metrics.prom")
 		fmt.Println("flags: -version prints the release and Go version")
 		return nil
 	}
-	return fmt.Errorf("unknown subcommand %q (want run, serve, gen or bench)", args[0])
+	return fmt.Errorf("unknown subcommand %q (want run, serve, gen, bench or top)", args[0])
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bicriteria/internal/obs"
+	"bicriteria/internal/perf"
+)
+
+// topCmd is the live terminal dashboard over a running scheduler
+// service: it polls GET /metrics.prom on an interval, validates and
+// parses each scrape with the obs text parser, diffs successive scrapes
+// and renders gauges, counter rates and histogram quantiles — a soak run
+// made watchable without any external tooling.
+//
+//	bicrit top -url http://127.0.0.1:8080/metrics.prom
+//	bicrit top -url ... -interval 1s -n 10 -plain   # ten frames into a log
+func topCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bicrit top", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8080/metrics.prom", "Prometheus text endpoint to poll")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	frames := fs.Int("n", 0, "number of frames to render before exiting (0 = until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of clearing the terminal (logs, CI)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: bicrit top [-url http://host/metrics.prom] [-interval 2s] [-n frames] [-plain]")
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive, got %s", *interval)
+	}
+
+	client := &http.Client{Timeout: *interval + 5*time.Second}
+	var prev []obs.Family
+	var prevAt time.Time
+	for i := 0; *frames == 0 || i < *frames; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		fams, err := scrapeProm(client, *url)
+		if err != nil {
+			return fmt.Errorf("scrape %d of %s: %v", i+1, *url, err)
+		}
+		now := time.Now()
+		elapsed := 0.0
+		if prev != nil {
+			elapsed = now.Sub(prevAt).Seconds()
+		}
+		if !*plain {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Fprintf(out, "bicrit top — %s — frame %d — every %s\n\n", *url, i+1, *interval)
+		fmt.Fprint(out, perf.RenderDashboard(prev, fams, elapsed))
+		prev, prevAt = fams, now
+	}
+	return nil
+}
+
+// scrapeProm fetches and parses one Prometheus text scrape, validating
+// the body (ParseText rejects malformed expositions).
+func scrapeProm(client *http.Client, url string) ([]obs.Family, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}

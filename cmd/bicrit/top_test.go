@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"bicriteria/internal/grid"
+	"bicriteria/internal/serve"
+)
+
+// TestTopCmdCannedScrapes drives the dashboard loop against a canned
+// /metrics.prom endpoint whose counter advances between scrapes: two
+// plain frames, rates diffed from the second scrape on.
+func TestTopCmdCannedScrapes(t *testing.T) {
+	var scrapes atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics.prom" {
+			http.NotFound(w, r)
+			return
+		}
+		n := scrapes.Add(1)
+		fmt.Fprintf(w, "# HELP jobs_total Admitted jobs.\n# TYPE jobs_total counter\njobs_total %d\n", 10*n)
+		fmt.Fprintf(w, "# HELP queue_depth Queued jobs.\n# TYPE queue_depth gauge\nqueue_depth{shard=\"0\"} 3\n")
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := topCmd([]string{"-url", ts.URL + "/metrics.prom", "-interval", "10ms", "-n", "2", "-plain"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := scrapes.Load(); got != 2 {
+		t.Fatalf("scraped %d times, want 2", got)
+	}
+	for _, want := range []string{"frame 1", "frame 2", "COUNTERS", "GAUGES",
+		"jobs_total", `queue_depth{shard="0"}`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-plain must not emit ANSI clear sequences")
+	}
+	// The second frame diffs the scrapes: the counter advanced, so a
+	// nonzero rate column shows up after the first frame's em dashes.
+	frames := strings.SplitN(out, "frame 2", 2)
+	if len(frames) != 2 || !strings.Contains(frames[0], "—") {
+		t.Errorf("first frame should have blank rates:\n%s", out)
+	}
+}
+
+// TestTopCmdLiveServe is the acceptance check for the dashboard: point
+// bicrit top at a real serve-layer service, submit work, and the
+// rendered frames carry the service's gauges, counters and histogram
+// quantiles.
+func TestTopCmdLiveServe(t *testing.T) {
+	srv, err := serve.NewServer(serve.Config{
+		Grid:             grid.Config{Clusters: []grid.ClusterSpec{{M: 16}, {M: 16}}},
+		Speedup:          1e6,
+		RefreshInterval:  -1,
+		SnapshotInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := strings.NewReader(`{"jobs": [
+		{"id": 1, "weight": 2, "times": [60, 35, 20]},
+		{"id": 2, "weight": 1, "times": [40, 25]},
+		{"id": 3, "weight": 3, "times": [90, 50, 30, 20]}]}`)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bulk submit: status %d", resp.StatusCode)
+	}
+
+	var buf bytes.Buffer
+	if err := topCmd([]string{"-url", ts.URL + "/metrics.prom", "-interval", "10ms", "-n", "2", "-plain"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"bicrit_serve_submitted_total",
+		"bicrit_serve_jobs",
+		"bicrit_serve_queue_depth",
+		"HISTOGRAMS", "p50", "p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live dashboard lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTopCmdErrors pins the failure modes: flag misuse, unreachable and
+// non-200 endpoints, and malformed expositions all surface as errors
+// instead of rendering garbage.
+func TestTopCmdErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := topCmd([]string{"positional"}, &buf); err == nil {
+		t.Error("positional args must fail")
+	}
+	if err := topCmd([]string{"-interval", "-1s"}, &buf); err == nil {
+		t.Error("negative interval must fail")
+	}
+	if err := topCmd([]string{"-url", "http://127.0.0.1:1/metrics.prom", "-n", "1"}, &buf); err == nil {
+		t.Error("unreachable endpoint must fail")
+	}
+
+	notFound := httptest.NewServer(http.NotFoundHandler())
+	defer notFound.Close()
+	if err := topCmd([]string{"-url", notFound.URL + "/metrics.prom", "-n", "1"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("non-200 scrape: err = %v", err)
+	}
+
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "this is not a prometheus exposition {{{")
+	}))
+	defer garbage.Close()
+	if err := topCmd([]string{"-url", garbage.URL + "/metrics.prom", "-n", "1"}, &buf); err == nil {
+		t.Error("malformed exposition must fail")
+	}
+}

@@ -77,10 +77,27 @@
 // the public API port. Wall-clock measurements flow only into metrics,
 // never into scheduling decisions or traces, so the bit-identical
 // replay discipline is untouched. bicrit run -trace out.json (or a
-// trace block in the scenario spec) activates tracing; bicrit bench
-// emits the replay benchmarks as machine-readable JSON; bicrit
+// trace block in the scenario spec) activates tracing; bicrit
 // -version, GET /version and the bicrit_build_info gauge report
 // buildinfo.Version.
+//
+// The perf observatory (internal/perf) closes the loop from
+// instrumentation to regression control: a named benchmark suite drives
+// every instrumented hot path — DEMT's knapsack and compaction phases,
+// each portfolio algorithm, batch planning, the cluster replay, the
+// grid federation at 1/4/8 shards, the serve layer's bulk HTTP ingest
+// and scenario compilation — under the standard testing harness, and
+// records the measurements as versioned BENCH trajectories (commit, Go
+// version, GOMAXPROCS, ns/op + allocs/op + B/op). bicrit bench runs
+// the suite (-list, -run for subsets), bicrit bench -compare old.json
+// -gate 1.25 diffs against a previous trajectory and fails on any
+// benchmark whose ns/op regressed past the threshold or disappeared —
+// the gate CI runs on every push against the previous run's artifact.
+// bicrit top is the live counterpart: it polls a running service's
+// GET /metrics.prom, re-parses each scrape through the validating
+// parser, and renders counter rates and histogram quantiles
+// (estimated from the cumulative buckets) as a dependency-free
+// terminal dashboard.
 //
 // The root package is a thin facade over the internal packages: it exposes
 // the task and schedule model, the DEMT scheduler, the baselines, the lower

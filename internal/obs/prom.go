@@ -131,6 +131,32 @@ type Family struct {
 	// Samples counts the sample lines of the family, histogram internals
 	// (_bucket, _sum, _count) included.
 	Samples int
+	// Rows holds every sample line of the family in scrape order, values
+	// included — histogram internals keep their _bucket/_sum/_count
+	// suffix in Sample.Name. This is what lets a scraper (bicrit top)
+	// diff successive scrapes numerically instead of just counting lines.
+	Rows []Sample
+}
+
+// Sample is one parsed sample line of a scrape.
+type Sample struct {
+	// Name is the full sample name, histogram suffixes included.
+	Name string
+	// Labels holds the sample's labels sorted by name (the text format
+	// carries no canonical order).
+	Labels []Label
+	// Value is the sample value.
+	Value float64
+}
+
+// Label returns the value of the named label, or "" when absent.
+func (s Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
 }
 
 // ParseText parses a Prometheus text-format scrape and validates it:
@@ -204,7 +230,7 @@ func ParseText(r io.Reader) ([]Family, error) {
 				}
 				fam.Type = typ
 			} else if len(fields) == 4 {
-				touch(name, "").Help = fields[3]
+				touch(name, "").Help = unescapeHelp(fields[3])
 			}
 			continue
 		}
@@ -215,6 +241,7 @@ func ParseText(r io.Reader) ([]Family, error) {
 		base := familyOf(name)
 		fam := touch(base, "")
 		fam.Samples++
+		fam.Rows = append(fam.Rows, Sample{Name: name, Labels: sortLabels(labels), Value: value})
 		if fam.Type != TypeHistogram {
 			continue
 		}
@@ -352,6 +379,49 @@ func unquoteLabel(s string) (string, int, error) {
 		}
 	}
 	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// unescapeHelp reverses escapeHelp: \\ and \n back to backslash and
+// newline. Unknown escapes are left intact, matching the format's
+// lenient readers.
+func unescapeHelp(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// sortLabels renders a parsed label map into a name-sorted slice.
+func sortLabels(labels map[string]string) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Label, len(names))
+	for i, n := range names {
+		out[i] = Label{Name: n, Value: labels[n]}
+	}
+	return out
 }
 
 // nonLeKey renders the non-le labels of a bucket sample into a stable

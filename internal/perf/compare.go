@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Delta is one benchmark's change between two trajectories. Old is nil
+// for a benchmark that only exists in the new trajectory, New is nil for
+// one that disappeared.
+type Delta struct {
+	Name string
+	Old  *Result
+	New  *Result
+}
+
+// NsRatio is new ns/op over old ns/op; NaN when either side is missing
+// or the old measurement is zero.
+func (d Delta) NsRatio() float64 {
+	if d.Old == nil || d.New == nil || d.Old.NsPerOp <= 0 {
+		return math.NaN()
+	}
+	return d.New.NsPerOp / d.Old.NsPerOp
+}
+
+// Compare joins two trajectories on benchmark name: old-trajectory order
+// first (disappeared benchmarks included), then new-only benchmarks in
+// their own order.
+func Compare(old, new Trajectory) []Delta {
+	var deltas []Delta
+	for i := range old.Results {
+		d := Delta{Name: old.Results[i].Name, Old: &old.Results[i]}
+		d.New = new.Lookup(d.Name)
+		deltas = append(deltas, d)
+	}
+	for i := range new.Results {
+		if old.Lookup(new.Results[i].Name) == nil {
+			deltas = append(deltas, Delta{Name: new.Results[i].Name, New: &new.Results[i]})
+		}
+	}
+	return deltas
+}
+
+// FormatDeltas renders the per-benchmark comparison table: old and new
+// ns/op, allocs/op and B/op with signed percentage deltas. Disappeared
+// benchmarks render as "gone", new ones as "new".
+func FormatDeltas(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s %11s %11s %8s %11s %11s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta",
+		"old allocs", "new allocs", "delta", "old B/op", "new B/op", "delta")
+	for _, d := range deltas {
+		switch {
+		case d.New == nil:
+			fmt.Fprintf(&b, "%-28s %14.0f %14s %8s %11d %11s %8s %11d %11s %8s\n",
+				d.Name, d.Old.NsPerOp, "—", "gone", d.Old.AllocsPerOp, "—", "", d.Old.BytesPerOp, "—", "")
+		case d.Old == nil:
+			fmt.Fprintf(&b, "%-28s %14s %14.0f %8s %11s %11d %8s %11s %11d %8s\n",
+				d.Name, "—", d.New.NsPerOp, "new", "—", d.New.AllocsPerOp, "", "—", d.New.BytesPerOp, "")
+		default:
+			fmt.Fprintf(&b, "%-28s %14.0f %14.0f %8s %11d %11d %8s %11d %11d %8s\n",
+				d.Name,
+				d.Old.NsPerOp, d.New.NsPerOp, pct(float64(d.Old.NsPerOp), float64(d.New.NsPerOp)),
+				d.Old.AllocsPerOp, d.New.AllocsPerOp, pct(float64(d.Old.AllocsPerOp), float64(d.New.AllocsPerOp)),
+				d.Old.BytesPerOp, d.New.BytesPerOp, pct(float64(d.Old.BytesPerOp), float64(d.New.BytesPerOp)))
+		}
+	}
+	return b.String()
+}
+
+// pct renders a signed percentage change, "~" for a zero baseline.
+func pct(old, new float64) string {
+	if old <= 0 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.1f%%", (new/old-1)*100)
+}
+
+// Gate checks the deltas against a regression threshold: a benchmark
+// whose ns/op grew past threshold times the old measurement fails, and
+// so does one that disappeared (a silently dropped benchmark is how a
+// trajectory rots). Improvements and new benchmarks pass. The returned
+// messages are empty exactly when the gate passes; threshold must exceed
+// 1.
+func Gate(deltas []Delta, threshold float64) ([]string, error) {
+	if !(threshold > 1) {
+		return nil, fmt.Errorf("perf: gate threshold must exceed 1, got %g", threshold)
+	}
+	var failures []string
+	for _, d := range deltas {
+		switch {
+		case d.New == nil:
+			failures = append(failures, fmt.Sprintf("%s: benchmark disappeared from the new trajectory", d.Name))
+		case d.Old == nil:
+			// New benchmarks have no baseline to regress against.
+		case d.NsRatio() > threshold:
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.2fx (%.0f -> %.0f, threshold %.2fx)",
+				d.Name, d.NsRatio(), d.Old.NsPerOp, d.New.NsPerOp, threshold))
+		}
+	}
+	return failures, nil
+}

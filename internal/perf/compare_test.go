@@ -1,0 +1,141 @@
+package perf
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func twoTrajectories() (Trajectory, Trajectory) {
+	old := Trajectory{Schema: SchemaVersion, Results: []Result{
+		{Name: "ClusterReplay", N: 10, NsPerOp: 1.0e7, AllocsPerOp: 5000, BytesPerOp: 800000},
+		{Name: "GridReplay/clusters=4", N: 5, NsPerOp: 4.0e7, AllocsPerOp: 20000, BytesPerOp: 3000000},
+		{Name: "Portfolio/gang", N: 100, NsPerOp: 2.0e5, AllocsPerOp: 300, BytesPerOp: 40000},
+	}}
+	new := Trajectory{Schema: SchemaVersion, Results: []Result{
+		// 2x regression.
+		{Name: "ClusterReplay", N: 10, NsPerOp: 2.0e7, AllocsPerOp: 5100, BytesPerOp: 810000},
+		// 25% improvement.
+		{Name: "GridReplay/clusters=4", N: 5, NsPerOp: 3.0e7, AllocsPerOp: 18000, BytesPerOp: 2900000},
+		// Portfolio/gang disappeared; ScenarioCompile is new.
+		{Name: "ScenarioCompile", N: 50, NsPerOp: 1.5e6, AllocsPerOp: 900, BytesPerOp: 120000},
+	}}
+	return old, new
+}
+
+func TestCompareJoinsByName(t *testing.T) {
+	old, new := twoTrajectories()
+	deltas := Compare(old, new)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if r := byName["ClusterReplay"].NsRatio(); r != 2.0 {
+		t.Errorf("ClusterReplay ratio = %g, want 2", r)
+	}
+	if r := byName["GridReplay/clusters=4"].NsRatio(); r != 0.75 {
+		t.Errorf("GridReplay ratio = %g, want 0.75", r)
+	}
+	if d := byName["Portfolio/gang"]; d.New != nil || !math.IsNaN(d.NsRatio()) {
+		t.Errorf("disappeared benchmark: %+v", d)
+	}
+	if d := byName["ScenarioCompile"]; d.Old != nil || !math.IsNaN(d.NsRatio()) {
+		t.Errorf("new benchmark: %+v", d)
+	}
+	// Order: old trajectory order first, then new-only.
+	if deltas[0].Name != "ClusterReplay" || deltas[3].Name != "ScenarioCompile" {
+		t.Errorf("delta order: %v %v", deltas[0].Name, deltas[3].Name)
+	}
+}
+
+// TestFormatDeltasGolden pins the delta table byte for byte — the output
+// CI prints on every perf-gate run.
+func TestFormatDeltasGolden(t *testing.T) {
+	old, new := twoTrajectories()
+	got := FormatDeltas(Compare(old, new))
+	golden := filepath.Join("testdata", "deltas.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("delta table drifted from %s (regenerate with -update):\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+func TestGate(t *testing.T) {
+	old, new := twoTrajectories()
+	deltas := Compare(old, new)
+
+	failures, err := Gate(deltas, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly two failures: the 2x regression and the disappearance. The
+	// improvement and the new benchmark pass.
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want 2", failures)
+	}
+	if !strings.Contains(failures[0], "ClusterReplay") || !strings.Contains(failures[0], "2.00x") {
+		t.Errorf("regression message: %q", failures[0])
+	}
+	if !strings.Contains(failures[1], "Portfolio/gang") || !strings.Contains(failures[1], "disappeared") {
+		t.Errorf("disappearance message: %q", failures[1])
+	}
+
+	// A generous threshold forgives the regression but never the
+	// disappearance.
+	failures, err = Gate(deltas, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "disappeared") {
+		t.Fatalf("generous gate: %v", failures)
+	}
+
+	// Identical trajectories pass.
+	same := Compare(old, old)
+	failures, err = Gate(same, 1.25)
+	if err != nil || len(failures) != 0 {
+		t.Fatalf("self-compare: %v %v", failures, err)
+	}
+
+	// Thresholds at or below 1 are configuration errors.
+	for _, bad := range []float64{1, 0.5, 0, -2, math.NaN()} {
+		if _, err := Gate(deltas, bad); err == nil {
+			t.Errorf("threshold %g: want error", bad)
+		}
+	}
+}
+
+// TestGateInjectedSlowdown is the acceptance check: a synthetic 2x
+// slowdown of one benchmark must trip the 1.25 gate.
+func TestGateInjectedSlowdown(t *testing.T) {
+	old := Trajectory{Schema: SchemaVersion, Results: sampleResults()}
+	slowed := Trajectory{Schema: SchemaVersion, Results: append([]Result(nil), old.Results...)}
+	slowed.Results[0].NsPerOp *= 2
+
+	failures, err := Gate(Compare(old, slowed), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], old.Results[0].Name) {
+		t.Fatalf("injected slowdown not caught: %v", failures)
+	}
+}

@@ -1,0 +1,41 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunMeasures checks the harness flattening: N and ns/op come from
+// testing.Benchmark, an explicit ns/op metric (the DEMT phase trick)
+// overrides the wall clock, and a failed body is an error, not a NaN.
+func TestRunMeasures(t *testing.T) {
+	res, err := Run(Benchmark{Name: "trivial", F: func(b *testing.B) {
+		var s int
+		for i := 0; i < b.N; i++ {
+			s += i
+		}
+		_ = s
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "trivial" || res.N <= 0 || res.NsPerOp <= 0 {
+		t.Fatalf("flattened result: %+v", res)
+	}
+
+	res, err = Run(Benchmark{Name: "reported", F: func(b *testing.B) {
+		b.ReportMetric(12345, "ns/op")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NsPerOp != 12345 {
+		t.Fatalf("explicit ns/op metric not honoured: got %g", res.NsPerOp)
+	}
+
+	if _, err := Run(Benchmark{Name: "failing", F: func(b *testing.B) {
+		b.Fatal("boom")
+	}}); err == nil || !strings.Contains(err.Error(), "failing") {
+		t.Fatalf("failed benchmark: err = %v", err)
+	}
+}

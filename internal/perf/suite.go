@@ -1,0 +1,280 @@
+package perf
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bicriteria/internal/cluster"
+	"bicriteria/internal/core"
+	"bicriteria/internal/grid"
+	"bicriteria/internal/moldable"
+	"bicriteria/internal/online"
+	"bicriteria/internal/reservation"
+	"bicriteria/internal/scenario"
+	"bicriteria/internal/serve"
+	"bicriteria/internal/workload"
+)
+
+// Suite returns the full benchmark suite in canonical order: one named
+// benchmark per instrumented hot path. Names are stable — they are the
+// join keys of trajectory comparison — so renaming one is a compatibility
+// decision, not a refactor.
+func Suite() []Benchmark {
+	suite := []Benchmark{
+		{Name: "DEMT/schedule", F: benchDEMTSchedule},
+		{Name: "DEMT/knapsack", F: func(b *testing.B) { benchDEMTPhase(b, "knapsack") }},
+		{Name: "DEMT/compact", F: func(b *testing.B) { benchDEMTPhase(b, "compact") }},
+	}
+	for _, algo := range cluster.DefaultPortfolio(nil) {
+		suite = append(suite, Benchmark{
+			Name: "Portfolio/" + algo.Name,
+			F:    func(b *testing.B) { benchPortfolioAlgorithm(b, algo) },
+		})
+	}
+	suite = append(suite,
+		Benchmark{Name: "BatchPlan", F: benchBatchPlan},
+		Benchmark{Name: "ClusterReplay", F: benchClusterReplay},
+		Benchmark{Name: "GridReplay/clusters=1", F: func(b *testing.B) { benchGridReplay(b, 1) }},
+		Benchmark{Name: "GridReplay/clusters=4", F: func(b *testing.B) { benchGridReplay(b, 4) }},
+		Benchmark{Name: "GridReplay/clusters=8", F: func(b *testing.B) { benchGridReplay(b, 8) }},
+		Benchmark{Name: "ServeBulkIngest", F: benchServeBulkIngest},
+		Benchmark{Name: "ScenarioCompile", F: benchScenarioCompile},
+	)
+	return suite
+}
+
+// batchInstance is the standard offline batch the DEMT and portfolio
+// benchmarks schedule: the paper's mixed workload at 64 processors, 100
+// tasks.
+func batchInstance(b *testing.B) *moldable.Instance {
+	inst, err := workload.Generate(workload.Config{Kind: workload.Mixed, M: 64, N: 100, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// benchDEMTSchedule times one full DEMT run — dual approximation,
+// knapsack batch construction and compaction — on the standard batch.
+func benchDEMTSchedule(b *testing.B) {
+	inst := batchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Schedule(inst, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDEMTPhase times one internal DEMT phase ("knapsack" or "compact")
+// through the core.Options.Timing hook: the loop runs full schedules, the
+// reported ns/op is the accumulated phase time per schedule. allocs/op
+// and B/op still cover the whole run — the harness cannot attribute
+// allocations to a phase.
+func benchDEMTPhase(b *testing.B, phase string) {
+	inst := batchInstance(b)
+	var secs float64
+	opts := &core.Options{Timing: func(ph string, s float64) {
+		if ph == phase {
+			secs += s
+		}
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Schedule(inst, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(secs*1e9/float64(b.N), "ns/op")
+}
+
+// benchPortfolioAlgorithm times one portfolio member scheduling the
+// standard batch — the per-algorithm latency the
+// bicrit_portfolio_algorithm_seconds histogram watches live.
+func benchPortfolioAlgorithm(b *testing.B, algo cluster.Algorithm) {
+	inst := batchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algo.Run(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBatchPlan times planning and executing one single batch through
+// the cluster engine: every job released at 0, batch-on-idle, so the
+// whole run is one portfolio race plus one commit.
+func benchBatchPlan(b *testing.B) {
+	inst := batchInstance(b)
+	jobs := make([]online.Job, len(inst.Tasks))
+	for i, t := range inst.Tasks {
+		jobs[i] = online.Job{Task: t}
+	}
+	eng, err := cluster.New(cluster.Config{
+		M:         64,
+		Objective: cluster.Objective{Kind: cluster.ObjectiveCombined, Alpha: 0.5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchClusterReplay is the historical ClusterReplay configuration (PR 6
+// trajectory continuity): the event-driven cluster engine replaying a
+// bursty Poisson stream with the concurrent portfolio, noisy runtimes and
+// a reservation.
+func benchClusterReplay(b *testing.B) {
+	const m, n = 64, 150
+	arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Workload:  workload.Config{Kind: workload.Mixed, M: m, N: n, Seed: 42},
+		Rate:      4,
+		BurstSize: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := cluster.JobsFromArrivals(arrivals)
+	perturb, err := cluster.UniformNoise(0.2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{
+		M:         m,
+		Objective: cluster.Objective{Kind: cluster.ObjectiveCombined, Alpha: 0.5},
+		Perturb:   perturb,
+		Reservations: []reservation.Reservation{
+			{Name: "maint", Procs: m / 8, Start: 10, End: 30},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGridReplay times the grid federation replaying one fixed 500-job
+// burst-heavy stream across `clusters` shards — the routeStream hot path
+// at 1/4/8 shards. The 4-shard variant is the historical
+// GridReplay/clusters=4 configuration.
+func benchGridReplay(b *testing.B, clusters int) {
+	const perCluster = 32
+	arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Workload:  workload.Config{Kind: workload.Mixed, M: perCluster, N: 500, Seed: 42},
+		Rate:      100,
+		BurstSize: 125,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := cluster.JobsFromArrivals(arrivals)
+	specs := make([]grid.ClusterSpec, clusters)
+	for i := range specs {
+		perturb, err := cluster.UniformNoise(0.2, int64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[i] = grid.ClusterSpec{M: perCluster, Perturb: perturb}
+	}
+	fed, err := grid.New(grid.Config{
+		Clusters: specs,
+		Routing:  grid.LeastBacklog(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fed.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchServeBulkIngest times the serve layer's front door: one bulk
+// POST /jobs of 64 jobs through the real HTTP handler — JSON decode,
+// validation, admission control and the sharded submission queue. IDs
+// increment across iterations so the registry grows like a live
+// service's; the refresher and snapshots are off, isolating ingest. With
+// the refresher off nothing drains the queue, so its depth is sized to
+// the iteration count — admission must never push back mid-run.
+func benchServeBulkIngest(b *testing.B) {
+	const bulk = 64
+	srv, err := serve.NewServer(serve.Config{
+		Grid: grid.Config{
+			Clusters: []grid.ClusterSpec{{M: 32}, {M: 32}},
+		},
+		Speedup:          1e6,
+		RefreshInterval:  -1,
+		SnapshotInterval: -1,
+		QueueDepth:       bulk * (b.N + 1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	var body bytes.Buffer
+	nextID := 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.Reset()
+		body.WriteString(`{"jobs": [`)
+		for j := 0; j < bulk; j++ {
+			if j > 0 {
+				body.WriteByte(',')
+			}
+			fmt.Fprintf(&body, `{"id": %d, "weight": 2, "times": [60, 35, 20]}`, nextID)
+			nextID++
+		}
+		body.WriteString(`]}`)
+		req := httptest.NewRequest(http.MethodPost, "/jobs", bytes.NewReader(body.Bytes()))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("bulk submit: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// benchScenarioCompile times the scenario front door: building and
+// compiling a 4-cluster grid spec, which validates eagerly and generates
+// the full 400-job arrival stream.
+func benchScenarioCompile(b *testing.B) {
+	spec, err := scenario.New(
+		scenario.WithClusters(32, 32, 16, 16),
+		scenario.WithWorkload("mixed", 400),
+		scenario.WithArrivals(8, 4),
+		scenario.WithNoise(0.15),
+		scenario.WithSeed(42),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Compile(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package perf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bicriteria/internal/obs"
+)
+
+// scrape renders a registry and parses it back, the exact pipeline
+// bicrit top runs against GET /metrics.prom.
+func scrape(t *testing.T, reg *obs.Registry) []obs.Family {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// topRegistry builds the first-frame registry of the golden test: a
+// slice of what a live serve scrape contains.
+func topRegistry(t *testing.T) (*obs.Registry, *obs.Counter, *obs.Histogram) {
+	reg := obs.NewRegistry()
+	reg.Gauge("bicrit_serve_virtual_now", "Virtual time.").Set(120)
+	reg.Gauge("bicrit_serve_jobs", "Jobs by state.", obs.L("state", "done")).Set(9)
+	reg.Gauge("bicrit_serve_jobs", "Jobs by state.", obs.L("state", "queued")).Set(3)
+	sub := reg.Counter("bicrit_serve_submitted_total", "Admitted jobs.")
+	sub.Add(12)
+	reg.Counter("bicrit_serve_rejected_total", "Refused jobs.", obs.L("reason", "rate-limit")).Add(2)
+	h := reg.Histogram("bicrit_demt_phase_seconds", "DEMT phase time.",
+		obs.LogBuckets(1e-6, 10, 28), obs.L("phase", "knapsack"))
+	for _, v := range []float64{0.001, 0.002, 0.002, 0.004, 0.1} {
+		h.Observe(v)
+	}
+	return reg, sub, h
+}
+
+// TestRenderDashboardGolden pins the two-frame dashboard render: frame
+// one without rates, frame two with counter and histogram rates diffed
+// over a 2-second interval.
+func TestRenderDashboardGolden(t *testing.T) {
+	reg, sub, h := topRegistry(t)
+	first := scrape(t, reg)
+
+	// Two seconds later: 6 more jobs, 4 more knapsack observations.
+	sub.Add(6)
+	for _, v := range []float64{0.001, 0.003, 0.003, 0.008} {
+		h.Observe(v)
+	}
+	second := scrape(t, reg)
+
+	got := RenderDashboard(nil, first, 0) + "---\n" + RenderDashboard(first, second, 2)
+	golden := filepath.Join("testdata", "top.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("dashboard drifted from %s (regenerate with -update):\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestRenderDashboardRates spot-checks the numbers behind the golden
+// bytes: rates over the interval and nearest-rank quantiles from the
+// scraped buckets.
+func TestRenderDashboardRates(t *testing.T) {
+	reg, sub, _ := topRegistry(t)
+	first := scrape(t, reg)
+	sub.Add(6)
+	second := scrape(t, reg)
+
+	frame := RenderDashboard(first, second, 2)
+	// 6 new jobs over 2 seconds.
+	if !strings.Contains(frame, "bicrit_serve_submitted_total") || !strings.Contains(frame, "3") {
+		t.Fatalf("submitted rate missing:\n%s", frame)
+	}
+	for _, want := range []string{"GAUGES", "COUNTERS", "HISTOGRAMS", "p50", "p99",
+		`bicrit_serve_jobs{state="done"}`, `bicrit_demt_phase_seconds{phase="knapsack"}`} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame lacks %q:\n%s", want, frame)
+		}
+	}
+	// First frame has no baseline: rates render as em dashes.
+	if got := RenderDashboard(nil, first, 0); !strings.Contains(got, "—") {
+		t.Errorf("first frame should render blank rates:\n%s", got)
+	}
+	// A counter that went down (restart) renders "reset", never a
+	// negative rate.
+	reg2 := obs.NewRegistry()
+	reg2.Counter("bicrit_serve_submitted_total", "Admitted jobs.").Add(1)
+	if got := RenderDashboard(second, scrape(t, reg2), 2); !strings.Contains(got, "reset") {
+		t.Errorf("shrunk counter should render reset:\n%s", got)
+	}
+	if got := RenderDashboard(nil, nil, 0); got != "(empty scrape)\n" {
+		t.Errorf("empty scrape render: %q", got)
+	}
+}
+
+// TestSuiteShape pins the suite contract: names are unique, cover every
+// instrumented hot path family, and Select filters like go test -bench.
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 10 {
+		t.Fatalf("suite has %d benchmarks, want >= 10", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, b := range suite {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.F == nil {
+			t.Errorf("benchmark %q has no body", b.Name)
+		}
+	}
+	for _, want := range []string{
+		"DEMT/knapsack", "DEMT/compact", "Portfolio/demt", "BatchPlan", "ClusterReplay",
+		"GridReplay/clusters=1", "GridReplay/clusters=4", "GridReplay/clusters=8",
+		"ServeBulkIngest", "ScenarioCompile",
+	} {
+		if !seen[want] {
+			t.Errorf("suite lacks %q", want)
+		}
+	}
+
+	sel, err := Select("^GridReplay/")
+	if err != nil || len(sel) != 3 {
+		t.Fatalf("Select(GridReplay) = %d benchmarks, err %v; want 3", len(sel), err)
+	}
+	if all, err := Select(""); err != nil || len(all) != len(suite) {
+		t.Fatalf("empty pattern should keep the suite: %d, %v", len(all), err)
+	}
+	if _, err := Select("NoSuchBenchmark"); err == nil {
+		t.Fatal("want error for a pattern matching nothing")
+	}
+	if _, err := Select("["); err == nil {
+		t.Fatal("want error for a bad pattern")
+	}
+}

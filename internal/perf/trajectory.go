@@ -1,0 +1,130 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion is the current BENCH file schema. Version 1 was PR 6's
+// bare JSON array of results; version 2 wraps the results in an envelope
+// carrying the provenance a trajectory needs to be comparable (commit, go
+// version, GOMAXPROCS, timestamp).
+const SchemaVersion = 2
+
+// Result is one benchmark's measurement, the unit of a trajectory.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Trajectory is one recorded run of the suite: the BENCH_*.json schema.
+type Trajectory struct {
+	// Schema is the file format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Commit is the VCS revision the run measured, when known.
+	Commit string `json:"commit,omitempty"`
+	// GoVersion and GOMAXPROCS describe the measuring toolchain and
+	// machine.
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	// Timestamp is the recording time in RFC 3339, informational only —
+	// comparisons join on benchmark names, never on time.
+	Timestamp string `json:"timestamp,omitempty"`
+	// Results lists the measurements in suite order.
+	Results []Result `json:"results"`
+}
+
+// NewTrajectory wraps results in the current schema envelope, stamping
+// the runtime metadata. Commit may be empty when no VCS information is
+// available.
+func NewTrajectory(results []Result, commit string, now time.Time) Trajectory {
+	t := Trajectory{
+		Schema:     SchemaVersion,
+		Commit:     commit,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Results:    results,
+	}
+	if !now.IsZero() {
+		t.Timestamp = now.UTC().Format(time.RFC3339)
+	}
+	return t
+}
+
+// Lookup returns the named result, or nil.
+func (t Trajectory) Lookup(name string) *Result {
+	for i := range t.Results {
+		if t.Results[i].Name == name {
+			return &t.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteTrajectory renders the trajectory as indented JSON.
+func WriteTrajectory(w io.Writer, t Trajectory) error {
+	if t.Schema == 0 {
+		t.Schema = SchemaVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrajectory parses a BENCH file. The current schema (a version-2
+// envelope) is decoded strictly — unknown fields and unknown schema
+// versions are rejected, the same contract as scenario files. A legacy
+// bare-array file (PR 6's schema 1) is still accepted, so trajectories
+// recorded before the envelope existed remain comparable.
+func ReadTrajectory(r io.Reader) (Trajectory, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Trajectory{}, err
+	}
+	i := 0
+	for i < len(data) && (data[i] == ' ' || data[i] == '\t' || data[i] == '\n' || data[i] == '\r') {
+		i++
+	}
+	if i == len(data) {
+		return Trajectory{}, fmt.Errorf("perf: empty BENCH file")
+	}
+	if data[i] == '[' {
+		var results []Result
+		if err := json.Unmarshal(data, &results); err != nil {
+			return Trajectory{}, fmt.Errorf("perf: legacy BENCH array: %v", err)
+		}
+		return Trajectory{Schema: 1, Results: results}, nil
+	}
+	var t Trajectory
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return Trajectory{}, fmt.Errorf("perf: BENCH file: %v", err)
+	}
+	if t.Schema != SchemaVersion {
+		return Trajectory{}, fmt.Errorf("perf: unsupported BENCH schema %d (this build reads schema %d and the legacy array form)", t.Schema, SchemaVersion)
+	}
+	return t, nil
+}
+
+// LoadTrajectory reads a BENCH file from disk.
+func LoadTrajectory(path string) (Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trajectory{}, err
+	}
+	defer f.Close()
+	t, err := ReadTrajectory(f)
+	if err != nil {
+		return Trajectory{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

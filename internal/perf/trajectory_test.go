@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleResults() []Result {
+	return []Result{
+		{Name: "ClusterReplay", N: 10, NsPerOp: 1.2e7, AllocsPerOp: 5000, BytesPerOp: 800000},
+		{Name: "GridReplay/clusters=4", N: 5, NsPerOp: 4.5e7, AllocsPerOp: 21000, BytesPerOp: 3200000},
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tr := NewTrajectory(sampleResults(), "abc1234", now)
+	if tr.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", tr.Schema, SchemaVersion)
+	}
+	if tr.GoVersion == "" || tr.GOMAXPROCS < 1 {
+		t.Fatalf("metadata not stamped: %+v", tr)
+	}
+	if tr.Timestamp != "2026-08-08T12:00:00Z" {
+		t.Fatalf("timestamp = %q", tr.Timestamp)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectory(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrajectory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Commit != "abc1234" || got.GOMAXPROCS != tr.GOMAXPROCS || len(got.Results) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if *got.Lookup("ClusterReplay") != tr.Results[0] {
+		t.Fatalf("result mismatch: %+v", got.Results[0])
+	}
+	if got.Lookup("no-such-benchmark") != nil {
+		t.Fatal("Lookup invented a result")
+	}
+}
+
+// TestReadTrajectoryLegacyArray keeps PR 6's bare-array BENCH_smoke.json
+// files readable: they parse as schema 1 with no metadata.
+func TestReadTrajectoryLegacyArray(t *testing.T) {
+	legacy := `[
+  {"name": "ClusterReplay", "n": 3, "ns_per_op": 1e7, "allocs_per_op": 100, "bytes_per_op": 2000}
+]`
+	tr, err := ReadTrajectory(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != 1 || len(tr.Results) != 1 || tr.Results[0].Name != "ClusterReplay" {
+		t.Fatalf("legacy parse: %+v", tr)
+	}
+}
+
+func TestReadTrajectoryRejections(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown schema", `{"schema": 99, "results": []}`, "unsupported BENCH schema 99"},
+		{"zero schema", `{"results": []}`, "unsupported BENCH schema 0"},
+		{"unknown field", `{"schema": 2, "results": [], "surprise": 1}`, "unknown field"},
+		{"empty", "   \n", "empty BENCH file"},
+		{"garbage", "not json", "BENCH file"},
+		{"bad array", `[{"name": 3}]`, "legacy BENCH array"},
+	}
+	for _, c := range cases {
+		_, err := ReadTrajectory(strings.NewReader(c.body))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestLoadTrajectoryMissingFile(t *testing.T) {
+	if _, err := LoadTrajectory("/no/such/BENCH.json"); err == nil {
+		t.Fatal("want error for a missing file")
+	}
+}

@@ -83,6 +83,30 @@ func TestPromMetricsValidAndStable(t *testing.T) {
 	if !strings.Contains(string(body), `algorithm="demt"`) {
 		t.Error(`scrape has no algorithm="demt" series in the portfolio latency histogram`)
 	}
+
+	// The quantile pipeline bicrit top runs on every frame: the parsed
+	// rows must regroup into coherent histogram series whose quantile
+	// estimates are monotone, positive and inside the bucket range.
+	var hists []obs.ScrapeHistogram
+	for _, f := range families {
+		if f.Type != "histogram" {
+			continue
+		}
+		rows := obs.HistogramRows(f)
+		if len(rows) == 0 {
+			t.Errorf("histogram family %s yields no series from its rows", f.Name)
+		}
+		hists = append(hists, rows...)
+	}
+	for _, h := range hists {
+		if h.Count == 0 {
+			continue
+		}
+		p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+		if !(p50 > 0) || p99 < p50 {
+			t.Errorf("quantiles not monotone positive: p50=%g p99=%g (%v)", p50, p99, h.Labels)
+		}
+	}
 }
 
 // TestPromMetricsDeterministicBytes checks two consecutive scrapes with
