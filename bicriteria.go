@@ -3,6 +3,7 @@ package bicriteria
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net/http"
 
 	"bicriteria/internal/baselines"
@@ -12,7 +13,9 @@ import (
 	"bicriteria/internal/dualapprox"
 	"bicriteria/internal/experiment"
 	"bicriteria/internal/faults"
+	"bicriteria/internal/flight"
 	"bicriteria/internal/grid"
+	"bicriteria/internal/logx"
 	"bicriteria/internal/lowerbound"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/obs"
@@ -22,6 +25,7 @@ import (
 	"bicriteria/internal/schedule"
 	"bicriteria/internal/serve"
 	"bicriteria/internal/sim"
+	"bicriteria/internal/slo"
 	"bicriteria/internal/trace"
 	"bicriteria/internal/workload"
 )
@@ -68,6 +72,7 @@ type (
 	ScenarioRouting     = scenario.Routing
 	ScenarioFaults      = scenario.Faults
 	ScenarioService     = scenario.Service
+	ScenarioSLO         = scenario.SLOSpec
 )
 
 // ValidationError is the unified configuration error of the library: it
@@ -99,6 +104,7 @@ var (
 	ScenarioWithFaults      = scenario.WithFaults
 	ScenarioWithService     = scenario.WithService
 	ScenarioWithTrace       = scenario.WithTrace
+	ScenarioWithSLO         = scenario.WithSLO
 )
 
 // ScenarioTrace is the optional trace section of a scenario: where and
@@ -254,6 +260,124 @@ func MergeScenarioObservers(a, b ScenarioObserver) ScenarioObserver {
 // standard /debug/pprof/ paths as an explicit mux; the CLIs bind it to
 // a separate listener behind -debug-addr.
 func ServeDebugHandler() http.Handler { return serve.DebugHandler() }
+
+// ---------------------------------------------------------------------------
+// Flight recorder: per-job "why" for every scheduling decision
+// ---------------------------------------------------------------------------
+
+// FlightRecorder materializes per-job timelines
+// (submitted → routed → batched → planned → started → killed/resubmitted
+// → done) from a run's event stream, with per-shard routing verdicts, the
+// winning portfolio algorithm, the chosen allotment and the batch lower
+// bound on every event. Events sort under a total order, so concurrent
+// and sequential replays render byte-identical timelines. Attach one to a
+// compiled scenario with ScenarioRunner.Flight, or rebuild one from a
+// finished grid report with FlightFromGridReport.
+type FlightRecorder = flight.Recorder
+
+// FlightEvent is one recorded stage of a job's flight.
+type FlightEvent = flight.Event
+
+// FlightKind names a flight stage.
+type FlightKind = flight.Kind
+
+// FlightVerdict is the routing policy's verdict on one shard for one
+// decision (chosen, open, over-backlog or outage, with its backlog).
+type FlightVerdict = flight.Verdict
+
+// Flight stages in lifecycle order.
+const (
+	FlightSubmitted   = flight.KindSubmitted
+	FlightRouted      = flight.KindRouted
+	FlightMigrated    = flight.KindMigrated
+	FlightBatched     = flight.KindBatched
+	FlightPlanned     = flight.KindPlanned
+	FlightStarted     = flight.KindStarted
+	FlightKilled      = flight.KindKilled
+	FlightResubmitted = flight.KindResubmitted
+	FlightLost        = flight.KindLost
+	FlightDone        = flight.KindDone
+)
+
+// NewFlightRecorder builds an empty flight recorder.
+func NewFlightRecorder() *FlightRecorder { return flight.NewRecorder() }
+
+// FlightFromGridReport rebuilds a flight recorder from a finished grid
+// report — the path the live service uses, since a service cannot stream
+// observers (it replays its stream repeatedly).
+func FlightFromGridReport(rep *GridReport) *FlightRecorder { return flight.FromGridReport(rep) }
+
+// WriteFlightTimeline renders one job's timeline as the human-readable
+// text `bicrit explain` prints.
+func WriteFlightTimeline(w io.Writer, job int, events []FlightEvent) error {
+	return flight.FormatTimeline(w, job, events)
+}
+
+// ReadFlightTrace parses a flight trace written by
+// FlightRecorder.WriteJSONL.
+func ReadFlightTrace(r io.Reader) (*FlightRecorder, error) { return flight.ReadJSONL(r) }
+
+// IsFlightTrace sniffs whether data starts with a flight-trace header
+// (how `bicrit explain` distinguishes a recorded trace from a scenario
+// file).
+func IsFlightTrace(data []byte) bool { return flight.IsTrace(data) }
+
+// ---------------------------------------------------------------------------
+// SLO engine: deadlines, burn rates, alerts
+// ---------------------------------------------------------------------------
+
+// SLOSpec is the resolved SLO rule set: per-job deadlines as
+// release + factor·pmin, an overall miss budget, a burn-rate window and
+// tail stretch/wait percentile targets.
+type SLOSpec = slo.Spec
+
+// SLOSummary is the outcome of one deterministic SLO evaluation:
+// deadline-miss counts overall and per cluster, tail percentiles, and
+// every alert rule's firing/resolved state.
+type SLOSummary = slo.Summary
+
+// SLOAlert is one evaluated SLO rule with its state, realized value and
+// threshold.
+type SLOAlert = slo.Alert
+
+// SLOJobOutcome is one job's realized outcome, the input of EvaluateSLO.
+type SLOJobOutcome = slo.JobOutcome
+
+// SLOClusterSummary is the per-cluster deadline axis of a summary.
+type SLOClusterSummary = slo.ClusterSummary
+
+// SLO alert states.
+const (
+	SLOStateFiring   = slo.StateFiring
+	SLOStateResolved = slo.StateResolved
+)
+
+// EvaluateSLO runs the rule set over the outcomes, deterministically:
+// outcomes are sorted internally, so concurrent and sequential replays
+// report bit-identical summaries.
+func EvaluateSLO(spec SLOSpec, outcomes []SLOJobOutcome) *SLOSummary {
+	return slo.Evaluate(spec, outcomes)
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging
+// ---------------------------------------------------------------------------
+
+// NewLogger resolves the shared -log-level/-log-json CLI contract into a
+// *slog.Logger: empty level returns a discard logger (silence is the
+// default), otherwise "debug", "info", "warn" or "error" as logfmt-style
+// text or JSON on w.
+func NewLogger(w io.Writer, level string, json bool) (*slog.Logger, error) {
+	return logx.New(w, level, json)
+}
+
+// DiscardLogger returns a logger that drops every record.
+func DiscardLogger() *slog.Logger { return logx.Discard() }
+
+// ScenarioLogObserver returns an observer logging every committed batch,
+// kill and migration of a run as structured records; stack it behind your
+// own observer with MergeScenarioObservers.
+func ScenarioLogObserver(l *slog.Logger) ScenarioObserver { return scenario.LogObserver(l) }
 
 // ---------------------------------------------------------------------------
 // Task and instance model

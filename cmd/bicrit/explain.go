@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"bicriteria"
+)
+
+// explainCmd prints one job's flight-recorder timeline: every scheduling
+// decision that touched the job, with the "why" on each stage (per-shard
+// routing verdicts, the winning portfolio algorithm, the chosen allotment,
+// the batch lower bound). The input is either a recorded flight trace
+// (`bicrit run -flight trace.jsonl`) or a scenario file, which is replayed
+// on the spot; both render byte-identical timelines, and so do concurrent
+// and sequential replays of the same scenario.
+func explainCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bicrit explain", flag.ContinueOnError)
+	sequential := fs.Bool("sequential", false, "force the goroutine-free replay path (scenario input only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		return fmt.Errorf("usage: bicrit explain [-sequential] <trace.jsonl|scenario.json> [job-id]")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+
+	var rec *bicriteria.FlightRecorder
+	if bicriteria.IsFlightTrace(data) {
+		if *sequential {
+			return fmt.Errorf("-sequential only applies when replaying a scenario file, not a recorded trace")
+		}
+		rec, err = bicriteria.ReadFlightTrace(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+	} else {
+		scn, err := bicriteria.LoadScenario(path)
+		if err != nil {
+			return fmt.Errorf("%s is neither a flight trace nor a scenario file: %w", path, err)
+		}
+		if *sequential {
+			scn.Sequential = true
+		}
+		runner, err := bicriteria.Compile(scn)
+		if err != nil {
+			return err
+		}
+		rec = bicriteria.NewFlightRecorder()
+		runner.Flight(rec)
+		if _, err := runner.Run(context.Background()); err != nil {
+			return err
+		}
+	}
+
+	if fs.NArg() == 1 {
+		jobs := rec.Jobs()
+		fmt.Fprintf(out, "%d jobs recorded\n", len(jobs))
+		for _, id := range jobs {
+			fmt.Fprintf(out, "  job %d — %d events\n", id, len(rec.Timeline(id)))
+		}
+		return nil
+	}
+	job, err := strconv.Atoi(fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("job ID must be an integer, got %q", fs.Arg(1))
+	}
+	events := rec.Timeline(job)
+	if events == nil {
+		return fmt.Errorf("job %d does not appear in %s", job, path)
+	}
+	return bicriteria.WriteFlightTimeline(out, job, events)
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bicriteria"
+)
+
+// writeScenarioRaw writes arbitrary bytes where a scenario file is
+// expected.
+func writeScenarioRaw(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// explainScenario is the seeded faulted grid scenario of the explain
+// tests: faults guarantee kills, so timelines exercise the synthesized
+// resubmitted/lost stages too.
+func explainScenario(t *testing.T) string {
+	t.Helper()
+	return writeScenario(t, bicriteria.Scenario{
+		Seed:     7,
+		Topology: bicriteria.TopologyGrid,
+		Clusters: []bicriteria.ScenarioCluster{{Machines: 16}, {Machines: 8}},
+		Workload: bicriteria.ScenarioWorkload{Kind: "mixed", Jobs: 40},
+		Arrivals: bicriteria.ScenarioArrivals{Rate: 5},
+		Noise:    0.2,
+		Faults:   &bicriteria.ScenarioFaults{MTBF: 25, Repair: 5},
+	})
+}
+
+// TestExplainConcurrentMatchesSequential is the acceptance pin of
+// `bicrit explain`: for every job of a faulted grid scenario, the
+// timeline rendered from a concurrent replay is byte-identical to the
+// one rendered from a sequential replay.
+func TestExplainConcurrentMatchesSequential(t *testing.T) {
+	scn := explainScenario(t)
+
+	var list bytes.Buffer
+	if err := explainCmd([]string{scn}, &list); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(list.String(), "40 jobs recorded") {
+		t.Fatalf("job listing drifted:\n%s", list.String())
+	}
+
+	for job := 0; job < 40; job++ {
+		id := strconv.Itoa(job)
+		var conc, seq bytes.Buffer
+		if err := explainCmd([]string{scn, id}, &conc); err != nil {
+			t.Fatal(err)
+		}
+		if err := explainCmd([]string{"-sequential", scn, id}, &seq); err != nil {
+			t.Fatal(err)
+		}
+		if conc.String() != seq.String() {
+			t.Fatalf("job %d: concurrent and sequential explain output differ:\n--- concurrent ---\n%s--- sequential ---\n%s",
+				job, conc.String(), seq.String())
+		}
+		if !strings.HasPrefix(conc.String(), "job "+id+" — ") {
+			t.Fatalf("job %d: timeline header drifted:\n%s", job, conc.String())
+		}
+	}
+}
+
+// TestExplainFromRecordedTrace records a flight trace with `bicrit run
+// -flight` and checks `bicrit explain` renders the same timeline from
+// the trace as from replaying the scenario itself.
+func TestExplainFromRecordedTrace(t *testing.T) {
+	scn := explainScenario(t)
+	trace := filepath.Join(t.TempDir(), "flight.jsonl")
+	var runOut bytes.Buffer
+	if err := runCmd([]string{"-flight", trace, scn}, &runOut); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, job := range []string{"0", "17", "39"} {
+		var fromTrace, fromScenario bytes.Buffer
+		if err := explainCmd([]string{trace, job}, &fromTrace); err != nil {
+			t.Fatal(err)
+		}
+		if err := explainCmd([]string{scn, job}, &fromScenario); err != nil {
+			t.Fatal(err)
+		}
+		if fromTrace.String() != fromScenario.String() {
+			t.Fatalf("job %s: trace and scenario explain output differ:\n--- trace ---\n%s--- scenario ---\n%s",
+				job, fromTrace.String(), fromScenario.String())
+		}
+	}
+}
+
+// TestExplainErrors pins the failure modes: bad usage, non-integer IDs,
+// unknown jobs, -sequential against a trace, and unintelligible input.
+func TestExplainErrors(t *testing.T) {
+	scn := explainScenario(t)
+	trace := filepath.Join(t.TempDir(), "flight.jsonl")
+	var buf bytes.Buffer
+	if err := runCmd([]string{"-flight", trace, scn}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no args", nil, "usage"},
+		{"too many args", []string{scn, "1", "2"}, "usage"},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.json")}, "no such file"},
+		{"non-integer id", []string{scn, "abc"}, "must be an integer"},
+		{"unknown job", []string{scn, "999"}, "does not appear"},
+		{"sequential trace", []string{"-sequential", trace, "1"}, "only applies when replaying a scenario"},
+		{"not a scenario", []string{writeScenarioRaw(t, "not json at all")}, "neither a flight trace nor a scenario"},
+	}
+	for _, tc := range cases {
+		var out bytes.Buffer
+		err := explainCmd(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

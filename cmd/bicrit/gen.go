@@ -54,6 +54,11 @@ func genCmd(args []string, out io.Writer) error {
 	faultHorizon := fs.Float64("fault-horizon", 0, "explicit fault-generation horizon (0 = estimate from the stream; required with service flags)")
 	replanFlag := fs.String("replan", "", "killed-job resubmission: restart (default) or checkpoint")
 	checkpointCredit := fs.Float64("checkpoint-credit", 0, "checkpoint credit fraction in [0, 1] (0 = full)")
+	sloDeadline := fs.Float64("slo-deadline-factor", 0, "SLO section: deadline = release + factor*pmin (0 = omit unless other slo flags set; section default 4)")
+	sloMissBudget := fs.Float64("slo-miss-budget", 0, "SLO section: tolerated deadline-miss rate in [0, 1)")
+	sloBurnWindow := fs.Float64("slo-burn-window", 0, "SLO section: trailing burn-rate window in time units (0 = no burn alert)")
+	sloStretch := fs.Float64("slo-stretch-target", 0, "SLO section: p99 stretch alert threshold (0 = no stretch alert)")
+	sloWait := fs.Float64("slo-wait-target", 0, "SLO section: p99 wait alert threshold (0 = no wait alert)")
 	speedup := fs.Float64("speedup", 0, "service section: virtual time units per wall second (0 = omit unless other service flags set)")
 	submitRate := fs.Float64("submit-rate", 0, "service section: token-bucket rate limit (0 = unlimited)")
 	admitBacklog := fs.Float64("admit-backlog", 0, "service section: front-door backlog limit (0 = unlimited)")
@@ -107,6 +112,15 @@ func genCmd(args []string, out io.Writer) error {
 			Horizon:          *faultHorizon,
 			Replan:           *replanFlag,
 			CheckpointCredit: *checkpointCredit,
+		}
+	}
+	if *sloDeadline > 0 || *sloMissBudget > 0 || *sloBurnWindow > 0 || *sloStretch > 0 || *sloWait > 0 {
+		scn.SLO = &bicriteria.ScenarioSLO{
+			DeadlineFactor: *sloDeadline,
+			MissBudget:     *sloMissBudget,
+			BurnWindow:     *sloBurnWindow,
+			StretchTarget:  *sloStretch,
+			WaitTarget:     *sloWait,
 		}
 	}
 	if *speedup > 0 || *submitRate > 0 || *admitBacklog > 0 || *snapshot != "" {

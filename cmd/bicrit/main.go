@@ -12,6 +12,15 @@
 //     bicrit run -v scenario.json
 //     bicrit run -json report.json -csv clusters.csv scenario.json
 //
+//   - explain: print one job's flight-recorder timeline — every
+//     scheduling decision that touched the job, with per-shard routing
+//     verdicts, the winning portfolio algorithm, the chosen allotment and
+//     the batch lower bound. Reads a recorded trace
+//     (`bicrit run -flight trace.jsonl`) or replays a scenario file.
+//
+//     bicrit explain trace.jsonl 42
+//     bicrit explain -sequential scenario.json 42
+//
 //   - serve: run the scenario as a live scheduler service (the serve
 //     layer's HTTP API), using the scenario's optional "service" section
 //     for pacing, rate limiting and snapshots.
@@ -58,11 +67,13 @@ func main() {
 
 func dispatch(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: bicrit <run|serve|gen> [flags] — see 'bicrit <cmd> -h'")
+		return fmt.Errorf("usage: bicrit <run|explain|serve|gen|bench|top> [flags] — see 'bicrit <cmd> -h'")
 	}
 	switch args[0] {
 	case "run":
 		return runCmd(args[1:], os.Stdout)
+	case "explain":
+		return explainCmd(args[1:], os.Stdout)
 	case "serve":
 		return serveCmd(args[1:], os.Stdout, nil, nil)
 	case "gen":
@@ -75,14 +86,15 @@ func dispatch(args []string) error {
 		fmt.Printf("bicrit %s (%s)\n", bicriteria.Version, runtime.Version())
 		return nil
 	case "-h", "-help", "--help", "help":
-		fmt.Println("usage: bicrit <run|serve|gen|bench|top> [flags]")
-		fmt.Println("  run    replay a scenario file offline and print the report")
-		fmt.Println("  serve  run a scenario file as a live scheduler service")
-		fmt.Println("  gen    write a scenario file from flags")
-		fmt.Println("  bench  run the hot-path benchmark suite; -compare/-gate diff and gate trajectories")
-		fmt.Println("  top    live terminal dashboard over a service's /metrics.prom")
+		fmt.Println("usage: bicrit <run|explain|serve|gen|bench|top> [flags]")
+		fmt.Println("  run      replay a scenario file offline and print the report")
+		fmt.Println("  explain  print one job's flight-recorder timeline (from a trace or scenario file)")
+		fmt.Println("  serve    run a scenario file as a live scheduler service")
+		fmt.Println("  gen      write a scenario file from flags")
+		fmt.Println("  bench    run the hot-path benchmark suite; -compare/-gate diff and gate trajectories")
+		fmt.Println("  top      live terminal dashboard over a service's /metrics.prom")
 		fmt.Println("flags: -version prints the release and Go version")
 		return nil
 	}
-	return fmt.Errorf("unknown subcommand %q (want run, serve, gen, bench or top)", args[0])
+	return fmt.Errorf("unknown subcommand %q (want run, explain, serve, gen, bench or top)", args[0])
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 
 	"bicriteria"
 	"bicriteria/cmd/internal/cliutil"
@@ -20,7 +21,14 @@ func runCmd(args []string, out io.Writer) error {
 	csvPath := fs.String("csv", "", "write the per-cluster summary table as CSV (grid topology)")
 	tracePath := fs.String("trace", "", "write the event trace to this file (overrides the scenario's trace section)")
 	traceFormat := fs.String("trace-format", "", "trace format: chrome (default, perfetto-viewable) or jsonl")
+	flightPath := fs.String("flight", "", "write the flight-recorder trace (per-job timelines) to this file as JSONL")
+	logLevel := fs.String("log-level", "", "emit structured logs at this level (debug, info, warn, error); silent when empty")
+	logJSON := fs.Bool("log-json", false, "structured logs as JSON instead of logfmt-style text")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := bicriteria.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -64,10 +72,25 @@ func runCmd(args []string, out io.Writer) error {
 		sink = bicriteria.NewTraceSink()
 		observer = bicriteria.MergeScenarioObservers(observer, bicriteria.ScenarioTraceObserver(sink))
 	}
+	if *logLevel != "" {
+		observer = bicriteria.MergeScenarioObservers(observer, bicriteria.ScenarioLogObserver(logger))
+	}
 	runner.Observe(observer)
+	var recorder *bicriteria.FlightRecorder
+	if *flightPath != "" {
+		recorder = bicriteria.NewFlightRecorder()
+		runner.Flight(recorder)
+	}
+	logger.Info("run starting", "scenario", fs.Arg(0), "topology", string(runner.Topology()), "jobs", runner.Info().Jobs)
 	rep, err := runner.Run(context.Background())
 	if err != nil {
 		return err
+	}
+	logger.Info("run complete", "jobs", runner.Info().Jobs)
+	if recorder != nil {
+		if err := cliutil.WriteFile(*flightPath, recorder.WriteJSONL); err != nil {
+			return err
+		}
 	}
 	if sink != nil {
 		bicriteria.RecordScenarioDrain(sink, rep)

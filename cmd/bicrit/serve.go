@@ -21,11 +21,17 @@ func serveCmd(args []string, out io.Writer, bound chan<- string, stop <-chan str
 	fs := flag.NewFlagSet("bicrit serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address of the HTTP API")
 	debugAddr := fs.String("debug-addr", "", "optional listen address of the pprof endpoints (kept off the API port)")
+	logLevel := fs.String("log-level", "", "emit structured logs at this level (debug, info, warn, error); silent when empty")
+	logJSON := fs.Bool("log-json", false, "structured logs as JSON instead of logfmt-style text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: bicrit serve [-addr :8080] [-debug-addr :6060] scenario.json")
+	}
+	logger, err := bicriteria.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		return err
 	}
 	scn, err := bicriteria.LoadScenario(fs.Arg(0))
 	if err != nil {
@@ -35,6 +41,7 @@ func serveCmd(args []string, out io.Writer, bound chan<- string, stop <-chan str
 	if err != nil {
 		return err
 	}
+	cfg.Logger = logger
 	server, err := bicriteria.NewServeServer(cfg)
 	if err != nil {
 		return err

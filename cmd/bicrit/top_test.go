@@ -54,6 +54,46 @@ func TestTopCmdCannedScrapes(t *testing.T) {
 	}
 }
 
+// TestTopCmdAlertsSection pins the ALERTS section: a scrape carrying the
+// SLO engine's bicrit_slo_alert_firing gauges renders one state line per
+// alert — FIRING for 1, resolved for 0 — ahead of the GAUGES section.
+func TestTopCmdAlertsSection(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "# HELP bicrit_slo_alert_firing 1 while the named SLO alert is firing.\n"+
+			"# TYPE bicrit_slo_alert_firing gauge\n"+
+			`bicrit_slo_alert_firing{alert="deadline-miss-budget"} 1`+"\n"+
+			`bicrit_slo_alert_firing{alert="wait-p99"} 0`+"\n"+
+			"# HELP bicrit_slo_deadline_misses Jobs past their deadline.\n"+
+			"# TYPE bicrit_slo_deadline_misses gauge\n"+
+			"bicrit_slo_deadline_misses 7\n")
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := topCmd([]string{"-url", ts.URL + "/metrics.prom", "-interval", "10ms", "-n", "1", "-plain"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	alertsAt := strings.Index(out, "ALERTS")
+	gaugesAt := strings.Index(out, "GAUGES")
+	if alertsAt < 0 || gaugesAt < 0 || alertsAt > gaugesAt {
+		t.Fatalf("ALERTS section missing or not ahead of GAUGES:\n%s", out)
+	}
+	section := out[alertsAt:gaugesAt]
+	for _, want := range []string{"deadline-miss-budget", "FIRING", "wait-p99", "resolved"} {
+		if !strings.Contains(section, want) {
+			t.Errorf("ALERTS section lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(section, "bicrit_slo_deadline_misses") {
+		t.Errorf("non-alert gauge leaked into the ALERTS section:\n%s", section)
+	}
+	// The raw gauges still render among GAUGES like every other series.
+	if !strings.Contains(out[gaugesAt:], "bicrit_slo_alert_firing") {
+		t.Errorf("alert gauges vanished from the GAUGES section:\n%s", out)
+	}
+}
+
 // TestTopCmdLiveServe is the acceptance check for the dashboard: point
 // bicrit top at a real serve-layer service, submit work, and the
 // rendered frames carry the service's gauges, counters and histogram

@@ -81,6 +81,33 @@
 // -version, GET /version and the bicrit_build_info gauge report
 // buildinfo.Version.
 //
+// The flight recorder (internal/flight, exported as the Flight*
+// identifiers) turns the same event stream into per-job explanations:
+// one timeline per job — submitted, routed, batched, planned, started,
+// killed/resubmitted, done — carrying the "why" of every stage (the
+// per-shard routing verdicts, the winning portfolio algorithm, the
+// chosen allotment, the batch's makespan lower bound). Timelines sort
+// under a total order, so concurrent and sequential replays render byte
+// for byte the same; bicrit run -flight trace.jsonl records a trace,
+// bicrit explain renders a job's timeline from a trace or by replaying
+// a scenario file, and the live service serves GET /jobs/{id}/timeline
+// rebuilt after every refresh (final after a drain).
+//
+// The SLO engine (internal/slo, exported as the SLO* identifiers)
+// evaluates a versioned "slo" scenario block over replay outcomes: a
+// per-job deadline anchored to the paper's reference value (release +
+// deadline_factor times the job's own lower bound pmin), an overall
+// miss budget with an optional trailing burn-rate window, and
+// percentile targets on stretch and wait. EvaluateSLO is a
+// deterministic pure function, so concurrent replays report
+// bit-identical summaries; reports gain an slo section, the service
+// answers GET /alerts, the bicrit_slo_* gauges ride the Prometheus
+// exposition and bicrit top renders an ALERTS section from them.
+// Structured logging (NewLogger, log/slog behind -log-level/-log-json
+// on bicrit run and bicrit serve) emits request-stamped access logs,
+// admission rejections, snapshot/drain lifecycle and batch summaries to
+// stderr — silent by default, so golden outputs never change.
+//
 // The perf observatory (internal/perf) closes the loop from
 // instrumentation to regression control: a named benchmark suite drives
 // every instrumented hot path — DEMT's knapsack and compaction phases,

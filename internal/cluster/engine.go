@@ -30,6 +30,7 @@ import (
 
 	"bicriteria/internal/faults"
 	"bicriteria/internal/listsched"
+	"bicriteria/internal/lowerbound"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/obs"
 	"bicriteria/internal/online"
@@ -116,8 +117,27 @@ type BatchReport struct {
 	// start and kill times), for streaming observers; Killed remains the
 	// wire-format digest, so serialized reports are unchanged.
 	KillEvents []KillEvent `json:"-"`
+	// LowerBound is the dual-approximation makespan lower bound of the
+	// batch instance (section 3.3 of the paper) — the reference value the
+	// flight recorder and the SLO engine anchor per-job deadlines to.
+	// Excluded from serialized reports like the other provenance fields.
+	LowerBound float64 `json:"-"`
+	// Placements carries the realized per-task executions of this batch
+	// (absolute start/end, chosen allotment) for streaming observers; the
+	// report's Schedule remains the wire-format source.
+	Placements []Placement `json:"-"`
 	// Cumulative is the metrics snapshot after this batch.
 	Cumulative Metrics
+}
+
+// Placement is one task's realized execution within a batch: absolute
+// start and end times and the allotment (processor count) the committed
+// plan chose for it.
+type Placement struct {
+	TaskID int
+	Start  float64
+	End    float64
+	Procs  int
 }
 
 // Report is the outcome of a full run.
@@ -372,6 +392,7 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 		return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: %w", index, err)
 	}
 
+	placements := make([]Placement, 0, len(simRes.Traces))
 	for _, tr := range simRes.Traces {
 		report.Schedule.Add(schedule.Assignment{
 			TaskID:   tr.TaskID,
@@ -379,6 +400,12 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 			NProcs:   len(tr.Procs),
 			Procs:    append([]int(nil), tr.Procs...),
 			Duration: tr.End - tr.Start,
+		})
+		placements = append(placements, Placement{
+			TaskID: tr.TaskID,
+			Start:  now + tr.Start,
+			End:    now + tr.End,
+			Procs:  len(tr.Procs),
 		})
 		info := infos[tr.TaskID]
 		acc.observeJob(info.release, now+tr.End, info.pmin, info.weight)
@@ -443,6 +470,8 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 		Delayed:          simRes.Delayed,
 		Killed:           killedIDs,
 		KillEvents:       killEvents,
+		LowerBound:       lowerbound.Makespan(inst),
+		Placements:       placements,
 		Cumulative:       acc.snapshot(),
 	}, advance, resub, nil
 }

@@ -1,0 +1,307 @@
+// Package flight is the per-job flight recorder: it consumes the event
+// stream of a scenario replay (routing decisions with per-shard verdicts,
+// committed batches with their provenance, kills and migrations) and
+// materializes one timeline per job — submitted → routed → batched →
+// planned → started → killed/resubmitted → done — answering *why* every
+// scheduling decision fell the way it did.
+//
+// The recorder inherits the repo's crown-jewel guarantee: events are kept
+// under a total order (time, then job, then a fixed kind rank, then the
+// remaining fields), so the rendered timeline of a concurrent replay is
+// byte-identical to a sequential one. Timelines synthesize the
+// resubmitted/lost stage deterministically: a kill followed by a later
+// batch containing the job is a resubmission, a kill never followed by
+// one is the job's loss.
+package flight
+
+import (
+	"sort"
+	"sync"
+
+	"bicriteria/internal/cluster"
+	"bicriteria/internal/grid"
+)
+
+// Kind labels one stage of a job's flight.
+type Kind string
+
+// The flight stages in lifecycle order. KindResubmitted and KindLost are
+// synthesized by Timeline from kill events; the others are recorded.
+const (
+	KindSubmitted   Kind = "submitted"
+	KindRouted      Kind = "routed"
+	KindMigrated    Kind = "migrated"
+	KindBatched     Kind = "batched"
+	KindPlanned     Kind = "planned"
+	KindStarted     Kind = "started"
+	KindKilled      Kind = "killed"
+	KindResubmitted Kind = "resubmitted"
+	KindLost        Kind = "lost"
+	KindDone        Kind = "done"
+)
+
+// rank fixes the tiebreak order of kinds at equal timestamps (lifecycle
+// order). The ranks are part of the total order behind byte-identical
+// rendering — they must never change.
+func (k Kind) rank() int {
+	switch k {
+	case KindSubmitted:
+		return 0
+	case KindRouted:
+		return 1
+	case KindMigrated:
+		return 2
+	case KindBatched:
+		return 3
+	case KindPlanned:
+		return 4
+	case KindStarted:
+		return 5
+	case KindKilled:
+		return 6
+	case KindResubmitted:
+		return 7
+	case KindLost:
+		return 8
+	case KindDone:
+		return 9
+	}
+	return 10
+}
+
+// Verdict is one cluster's admission verdict attached to a routing event
+// (the flight-side mirror of grid.ShardVerdict).
+type Verdict struct {
+	// Cluster indexes the grid's clusters.
+	Cluster int `json:"cluster"`
+	// Backlog is the cluster's estimated per-processor backlog at the
+	// decision instant.
+	Backlog float64 `json:"backlog"`
+	// State is grid.VerdictChosen, VerdictOpen, VerdictOverBacklog or
+	// VerdictOutage.
+	State string `json:"state"`
+}
+
+// Event is one recorded stage of one job's flight. Fields beyond Kind,
+// Job and Time are stage-specific; unused ones stay at their zero value
+// and are elided from the JSONL encoding.
+type Event struct {
+	// Kind is the stage and Job the task ID it happened to.
+	Kind Kind `json:"kind"`
+	Job  int  `json:"job"`
+	// Time is the absolute (simulated) time of the stage.
+	Time float64 `json:"t"`
+	// Cluster is the cluster index of the stage, -1 when no cluster is
+	// involved (submission).
+	Cluster int `json:"cluster"`
+	// Batch is the batch index on the cluster, -1 before the job is
+	// batched.
+	Batch int `json:"batch"`
+	// Backlog is the chosen cluster's backlog of a routed/migrated event.
+	Backlog float64 `json:"backlog,omitempty"`
+	// Verdicts carries every shard's admission verdict of a
+	// routed/migrated event.
+	Verdicts []Verdict `json:"verdicts,omitempty"`
+	// Winner is the committed portfolio algorithm of a batched event.
+	Winner string `json:"winner,omitempty"`
+	// LowerBound is the batch's makespan lower bound of a batched event.
+	LowerBound float64 `json:"lower_bound,omitempty"`
+	// Allotment is the number of processors of a planned/started event.
+	Allotment int `json:"allotment,omitempty"`
+	// End is the absolute end time of a started event (its completion).
+	End float64 `json:"end,omitempty"`
+}
+
+// less is the total order of the recorder: time, then job, then the kind
+// rank, then every remaining field. Two distinct events never compare
+// equal under it, so sorting is deterministic whatever the arrival order.
+func less(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Job != b.Job {
+		return a.Job < b.Job
+	}
+	if ra, rb := a.Kind.rank(), b.Kind.rank(); ra != rb {
+		return ra < rb
+	}
+	if a.Cluster != b.Cluster {
+		return a.Cluster < b.Cluster
+	}
+	if a.Batch != b.Batch {
+		return a.Batch < b.Batch
+	}
+	if a.Allotment != b.Allotment {
+		return a.Allotment < b.Allotment
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	return a.Winner < b.Winner
+}
+
+// Recorder accumulates flight events. It is safe for concurrent use: the
+// shard goroutines of a concurrent grid replay may record into one
+// recorder, and the total-order sort in Events/Timeline restores the
+// deterministic order.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Reset discards every recorded event: a runner calls it at the start of
+// each replay so repeated Runs do not accumulate duplicate flights.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+}
+
+// Add records one event verbatim.
+func (r *Recorder) Add(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Submitted records a job's submission (its release date). Cluster -1:
+// no placement decision has been made yet.
+func (r *Recorder) Submitted(job int, release float64) {
+	r.Add(Event{Kind: KindSubmitted, Job: job, Time: release, Cluster: -1, Batch: -1})
+}
+
+// OnDecision records one routing decision — a routed event, or a
+// migrated one when the decision resubmits a job drained off a dark
+// shard. It has the signature of scenario.Observer.Decision.
+func (r *Recorder) OnDecision(d grid.Decision) {
+	kind := KindRouted
+	if d.Migrated {
+		kind = KindMigrated
+	}
+	verdicts := make([]Verdict, len(d.Verdicts))
+	for i, v := range d.Verdicts {
+		verdicts[i] = Verdict{Cluster: v.Cluster, Backlog: v.Backlog, State: v.State}
+	}
+	r.Add(Event{Kind: kind, Job: d.JobID, Time: d.Release, Cluster: d.Cluster, Batch: -1, Backlog: d.Backlog, Verdicts: verdicts})
+}
+
+// OnBatch records one committed batch: a batched event per member job
+// (with the winner and the batch lower bound), planned/started/done
+// events per realized placement, and a killed event per kill. It has the
+// signature of scenario.Observer.Batch.
+func (r *Recorder) OnBatch(clusterIdx int, br cluster.BatchReport) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range br.Jobs {
+		r.events = append(r.events, Event{
+			Kind: KindBatched, Job: id, Time: br.FireTime, Cluster: clusterIdx,
+			Batch: br.Index, Winner: br.Winner, LowerBound: br.LowerBound,
+		})
+	}
+	for _, p := range br.Placements {
+		r.events = append(r.events,
+			Event{Kind: KindPlanned, Job: p.TaskID, Time: br.FireTime, Cluster: clusterIdx, Batch: br.Index, Allotment: p.Procs},
+			Event{Kind: KindStarted, Job: p.TaskID, Time: p.Start, Cluster: clusterIdx, Batch: br.Index, Allotment: p.Procs, End: p.End},
+			Event{Kind: KindDone, Job: p.TaskID, Time: p.End, Cluster: clusterIdx, Batch: br.Index},
+		)
+	}
+	for _, k := range br.KillEvents {
+		r.events = append(r.events, Event{Kind: KindKilled, Job: k.TaskID, Time: k.Time, Cluster: clusterIdx, Batch: k.Batch})
+	}
+}
+
+// Events returns every recorded event in total order (a copy).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return less(&out[i], &out[j]) })
+	return out
+}
+
+// Jobs returns the distinct job IDs seen by the recorder, sorted.
+func (r *Recorder) Jobs() []int {
+	r.mu.Lock()
+	seen := make(map[int]bool, len(r.events))
+	for i := range r.events {
+		seen[r.events[i].Job] = true
+	}
+	r.mu.Unlock()
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Timeline returns one job's flight in total order, with the
+// resubmitted/lost stage synthesized after every kill: a kill followed
+// by a later batched event is a resubmission at the kill instant, the
+// last kill of a job that never re-batches is its loss. Returns nil for
+// a job the recorder never saw.
+func (r *Recorder) Timeline(job int) []Event {
+	r.mu.Lock()
+	var evs []Event
+	for i := range r.events {
+		if r.events[i].Job == job {
+			evs = append(evs, r.events[i])
+		}
+	}
+	r.mu.Unlock()
+	if evs == nil {
+		return nil
+	}
+	sort.Slice(evs, func(i, j int) bool { return less(&evs[i], &evs[j]) })
+	var out []Event
+	for i, ev := range evs {
+		out = append(out, ev)
+		if ev.Kind != KindKilled {
+			continue
+		}
+		rebatched := false
+		for _, later := range evs[i+1:] {
+			if later.Kind == KindBatched {
+				rebatched = true
+				break
+			}
+		}
+		kind := KindLost
+		if rebatched {
+			kind = KindResubmitted
+		}
+		out = append(out, Event{Kind: kind, Job: ev.Job, Time: ev.Time, Cluster: ev.Cluster, Batch: ev.Batch})
+	}
+	return out
+}
+
+// FromGridReport rebuilds a recorder from a finished grid report — the
+// path of the serve layer, whose replays repeat and cannot stream
+// observers. Submissions are synthesized from the non-migrated routing
+// decisions (the router preserves release dates), batches come from the
+// per-shard reports.
+func FromGridReport(rep *grid.Report) *Recorder {
+	r := NewRecorder()
+	if rep == nil {
+		return r
+	}
+	for _, d := range rep.Decisions {
+		if !d.Migrated {
+			r.Submitted(d.JobID, d.Release)
+		}
+		r.OnDecision(d)
+	}
+	for c, crep := range rep.Clusters {
+		if crep == nil {
+			continue
+		}
+		for _, br := range crep.Batches {
+			r.OnBatch(c, br)
+		}
+	}
+	return r
+}

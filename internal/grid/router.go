@@ -33,6 +33,38 @@ type Decision struct {
 	// the policy at the outage instant (Release is that instant). Always
 	// false on a fault-free run.
 	Migrated bool `json:"Migrated,omitempty"`
+	// Verdicts records every shard's admission verdict at the decision
+	// instant — the per-cluster "why" behind the choice. Excluded from the
+	// JSON report (the flight recorder is its consumer); order follows
+	// Config.Clusters.
+	Verdicts []ShardVerdict `json:"-"`
+}
+
+// Shard verdict states, one per cluster per routing decision.
+const (
+	// VerdictChosen marks the cluster the policy picked.
+	VerdictChosen = "chosen"
+	// VerdictOpen marks a cluster that was offered but not picked.
+	VerdictOpen = "open"
+	// VerdictOverBacklog marks a cluster closed for admission because its
+	// estimated per-processor backlog exceeded Config.AdmitBacklog.
+	VerdictOverBacklog = "over-backlog"
+	// VerdictOutage marks a cluster inside a shard outage window.
+	VerdictOutage = "outage"
+)
+
+// ShardVerdict is one cluster's admission verdict at a routing instant:
+// whether it was chosen, merely offered, or closed — and its estimated
+// per-processor backlog at that moment.
+type ShardVerdict struct {
+	// Cluster indexes Config.Clusters.
+	Cluster int
+	// Backlog is the cluster's estimated per-processor backlog at the
+	// decision instant.
+	Backlog float64
+	// State is one of VerdictChosen, VerdictOpen, VerdictOverBacklog or
+	// VerdictOutage.
+	State string
 }
 
 // router is the sequential decision core of the meta-scheduler: it walks
@@ -279,7 +311,21 @@ func (r *router) route(j online.Job, migrated bool) (Decision, error) {
 		}
 	}
 
-	d := Decision{JobID: job.ID, Release: j.Release, Cluster: chosen, Backlog: r.views[chosen].Backlog, Migrated: migrated}
+	verdicts := make([]ShardVerdict, len(r.views))
+	for c := range r.views {
+		state := VerdictOpen
+		switch {
+		case c == chosen:
+			state = VerdictChosen
+		case r.downAt(c, j.Release):
+			state = VerdictOutage
+		case r.admitBacklog > 0 && r.views[c].Backlog > r.admitBacklog+eps:
+			state = VerdictOverBacklog
+		}
+		verdicts[c] = ShardVerdict{Cluster: c, Backlog: r.views[c].Backlog, State: state}
+	}
+
+	d := Decision{JobID: job.ID, Release: j.Release, Cluster: chosen, Backlog: r.views[chosen].Backlog, Migrated: migrated, Verdicts: verdicts}
 	v := &r.views[chosen]
 	v.Jobs++
 	v.TotalMinWork += job.MinWork[chosen]

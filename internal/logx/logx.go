@@ -1,0 +1,43 @@
+// Package logx builds the structured loggers of the CLIs: a thin wrapper
+// over log/slog that resolves the shared -log-level/-log-json flags. The
+// zero configuration (empty level) returns a discard logger, so every
+// layer can log unconditionally while staying byte-silent by default —
+// the property the CLI goldens rely on.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Discard returns a logger that drops every record.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// New builds a logger writing to w at the named level ("debug", "info",
+// "warn", "error"; case-insensitive), as logfmt-style text or JSON. An
+// empty level returns the discard logger: silence is the default.
+func New(w io.Writer, level string, json bool) (*slog.Logger, error) {
+	if level == "" {
+		return Discard(), nil
+	}
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(w, opts)), nil
+}

@@ -1,0 +1,62 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "warn", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("below threshold")
+	l.Warn("at threshold", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "below threshold") {
+		t.Errorf("info record emitted at warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "at threshold") || !strings.Contains(out, "k=v") {
+		t.Errorf("warn record missing or unstructured:\n%s", out)
+	}
+
+	// "warning" is accepted as an alias.
+	if _, err := New(&buf, "warning", false); err != nil {
+		t.Errorf("warning alias rejected: %v", err)
+	}
+	if _, err := New(&buf, "loud", false); err == nil || !strings.Contains(err.Error(), "unknown log level") {
+		t.Errorf("bad level: err = %v", err)
+	}
+}
+
+func TestNewJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "info", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "answer", 42)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON handler emitted non-JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["answer"] != float64(42) {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestEmptyLevelIsSilent(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Error("even errors are silenced")
+	if buf.Len() != 0 {
+		t.Fatalf("empty level wrote output: %q", buf.String())
+	}
+	Discard().Error("discard logger must swallow everything")
+}

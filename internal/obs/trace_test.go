@@ -153,6 +153,41 @@ func TestJSONLShape(t *testing.T) {
 	}
 }
 
+// TestMigrationDrainRenderingPinned pins the byte-exact rendering of the
+// migration and drain events in both formats. These bytes are compared
+// across replays (the determinism guarantee) and consumed by external
+// viewers, so any drift here is a compatibility decision.
+func TestMigrationDrainRenderingPinned(t *testing.T) {
+	jsonl := render(t, traceFixture(), FormatJSONL)
+	lines := strings.Split(strings.TrimRight(jsonl, "\n"), "\n")
+	wantLines := map[string]string{
+		"migration": `{"kind":"migration","cluster":0,"batch":-1,"job":4,"start":5.5,"end":5.5,"backlog":1.5}`,
+		"drain":     `{"kind":"drain","cluster":-1,"batch":-1,"job":-1,"start":0,"end":20,"tasks":5}`,
+	}
+	for kind, want := range wantLines {
+		found := false
+		for _, line := range lines {
+			if line == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("JSONL %s line drifted from pinned bytes:\nwant %s\nhave:\n%s", kind, want, jsonl)
+		}
+	}
+
+	chrome := render(t, traceFixture(), FormatChrome)
+	for kind, want := range map[string]string{
+		"migration": `{"name":"migrate job 4","ph":"i","ts":5500,"pid":1,"tid":1,"s":"t","args":{"job":4,"backlog":1.5}}`,
+		"drain":     `{"name":"drain","ph":"X","ts":0,"dur":20000,"pid":0,"tid":1,"args":{"tasks":5}}`,
+	} {
+		if !strings.Contains(chrome, want) {
+			t.Errorf("chrome %s event drifted from pinned bytes:\nwant %s\nhave:\n%s", kind, want, chrome)
+		}
+	}
+}
+
 func TestWriteUnknownFormat(t *testing.T) {
 	s := NewSink()
 	if err := s.Write(&bytes.Buffer{}, "xml"); err == nil {

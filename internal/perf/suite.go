@@ -9,12 +9,14 @@ import (
 
 	"bicriteria/internal/cluster"
 	"bicriteria/internal/core"
+	"bicriteria/internal/flight"
 	"bicriteria/internal/grid"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
 	"bicriteria/internal/scenario"
 	"bicriteria/internal/serve"
+	"bicriteria/internal/slo"
 	"bicriteria/internal/workload"
 )
 
@@ -42,6 +44,8 @@ func Suite() []Benchmark {
 		Benchmark{Name: "GridReplay/clusters=8", F: func(b *testing.B) { benchGridReplay(b, 8) }},
 		Benchmark{Name: "ServeBulkIngest", F: benchServeBulkIngest},
 		Benchmark{Name: "ScenarioCompile", F: benchScenarioCompile},
+		Benchmark{Name: "FlightRecord", F: benchFlightRecord},
+		Benchmark{Name: "SLOEvaluate", F: benchSLOEvaluate},
 	)
 	return suite
 }
@@ -252,6 +256,93 @@ func benchServeBulkIngest(b *testing.B) {
 		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusAccepted {
 			b.Fatalf("bulk submit: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// flightReport replays the historical 4-shard grid configuration once
+// and returns its report — the shared setup of the flight-recorder and
+// SLO benchmarks, built outside their timed loops.
+func flightReport(b *testing.B) *grid.Report {
+	const perCluster, clusters = 32, 4
+	arrivals, err := workload.GenerateArrivals(workload.ArrivalConfig{
+		Workload:  workload.Config{Kind: workload.Mixed, M: perCluster, N: 500, Seed: 42},
+		Rate:      100,
+		BurstSize: 125,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := cluster.JobsFromArrivals(arrivals)
+	specs := make([]grid.ClusterSpec, clusters)
+	for i := range specs {
+		perturb, err := cluster.UniformNoise(0.2, int64(42+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[i] = grid.ClusterSpec{M: perCluster, Perturb: perturb}
+	}
+	fed, err := grid.New(grid.Config{Clusters: specs, Routing: grid.LeastBacklog()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := fed.Run(jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// benchFlightRecord times rebuilding a 500-job flight recorder from a
+// finished grid report and sorting its events into total order — the
+// serve layer's per-refresh observability cost (FromGridReport runs
+// after every refresh and drain).
+func benchFlightRecord(b *testing.B) {
+	rep := flightReport(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := flight.FromGridReport(rep)
+		if len(rec.Events()) == 0 {
+			b.Fatal("empty flight record")
+		}
+	}
+}
+
+// benchSLOEvaluate times one SLO evaluation — deadline misses,
+// per-cluster breakdown, burn-rate window and tail percentiles — over
+// the 500-job outcome set of the standard grid replay.
+func benchSLOEvaluate(b *testing.B) {
+	rep := flightReport(b)
+	var outcomes []slo.JobOutcome
+	for c, crep := range rep.Clusters {
+		if crep == nil {
+			continue
+		}
+		for _, br := range crep.Batches {
+			for _, p := range br.Placements {
+				outcomes = append(outcomes, slo.JobOutcome{
+					Job: p.TaskID, Cluster: c, Release: 0, Pmin: p.End - p.Start,
+					Start: p.Start, End: p.End, Done: true,
+				})
+			}
+		}
+	}
+	if len(outcomes) == 0 {
+		b.Fatal("no outcomes")
+	}
+	spec := slo.Spec{
+		MissBudget:    0.05,
+		BurnWindow:    50,
+		StretchTarget: 10,
+		WaitTarget:    100,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := slo.Evaluate(spec, outcomes)
+		if sum.Jobs != len(outcomes) {
+			b.Fatal("job count mismatch")
 		}
 	}
 }

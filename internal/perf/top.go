@@ -11,7 +11,8 @@ import (
 )
 
 // RenderDashboard turns one parsed /metrics.prom scrape into the bicrit
-// top frame: gauges with their values, counters with totals and rates
+// top frame: an ALERTS section when the scrape carries SLO alert gauges
+// (bicrit_slo_alert_firing), gauges with their values, counters with totals and rates
 // over the scrape interval, histograms with counts, rates and
 // nearest-rank quantiles estimated from the cumulative buckets. prev is
 // the previous scrape (nil on the first frame — rates render blank) and
@@ -36,8 +37,26 @@ func RenderDashboard(prev, cur []obs.Family, elapsed float64) string {
 	fams := append([]obs.Family(nil), cur...)
 	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
 
-	var gauges, counters, hists strings.Builder
+	var alerts, gauges, counters, hists strings.Builder
 	for _, fam := range fams {
+		// The SLO engine publishes one 0/1 gauge per alert rule; surface
+		// them as their own dashboard section (they still appear among the
+		// plain gauges below, like every other series).
+		if fam.Name == "bicrit_slo_alert_firing" {
+			for _, row := range fam.Rows {
+				name := fam.Name
+				for _, l := range row.Labels {
+					if l.Name == "alert" {
+						name = l.Value
+					}
+				}
+				state := "resolved"
+				if row.Value > 0 {
+					state = "FIRING"
+				}
+				fmt.Fprintf(&alerts, "  %-52s %14s\n", name, state)
+			}
+		}
 		switch fam.Type {
 		case obs.TypeCounter:
 			for _, row := range fam.Rows {
@@ -64,6 +83,10 @@ func RenderDashboard(prev, cur []obs.Family, elapsed float64) string {
 	}
 
 	var b strings.Builder
+	if alerts.Len() > 0 {
+		fmt.Fprintf(&b, "%-54s %14s\n", "ALERTS", "state")
+		b.WriteString(alerts.String())
+	}
 	if gauges.Len() > 0 {
 		fmt.Fprintf(&b, "%-54s %14s\n", "GAUGES", "value")
 		b.WriteString(gauges.String())

@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -10,11 +11,13 @@ import (
 	"bicriteria/internal/cluster"
 	"bicriteria/internal/core"
 	"bicriteria/internal/faults"
+	"bicriteria/internal/flight"
 	"bicriteria/internal/grid"
 	"bicriteria/internal/obs"
 	"bicriteria/internal/online"
 	"bicriteria/internal/reservation"
 	"bicriteria/internal/serve"
+	"bicriteria/internal/slo"
 	"bicriteria/internal/trace"
 	"bicriteria/internal/validate"
 	"bicriteria/internal/workload"
@@ -53,6 +56,11 @@ type Report struct {
 	Cluster *cluster.Report
 	// Grid is the federation report (grid topology).
 	Grid *grid.Report
+	// SLO is the SLO summary axis — deadline misses per cluster, tail
+	// values and alert states. Non-nil only when the scenario declared an
+	// SLO block; the evaluation is deterministic, so concurrent and
+	// sequential replays report identical summaries.
+	SLO *slo.Summary
 }
 
 // Makespan returns the realized makespan of the run, whatever the
@@ -123,6 +131,11 @@ type Runner interface {
 	Info() Info
 	// Observe installs the event callbacks of subsequent Runs.
 	Observe(Observer)
+	// Flight registers a flight recorder: every subsequent Run resets it,
+	// seeds it with the stream's submission events and streams every
+	// decision, batch and kill into it (alongside any Observer installed
+	// via Observe). Pass nil to detach.
+	Flight(*flight.Recorder)
 	// Metrics returns the runner's observability registry: the wall-clock
 	// timing histograms of the compiled engine (portfolio latency per
 	// algorithm, DEMT phases, batch planning, grid routing) accumulate in
@@ -200,6 +213,10 @@ func ServeConfig(s Scenario) (serve.Config, error) {
 		return serve.Config{}, err
 	}
 	cfg := serve.Config{Grid: gcfg, Metrics: reg}
+	if s.SLO != nil {
+		spec := s.SLO.spec()
+		cfg.SLO = &spec
+	}
 	if svc := s.Service; svc != nil {
 		cfg.Speedup = svc.Speedup
 		cfg.SubmitRate = svc.SubmitRate
@@ -557,19 +574,124 @@ func gridConfig(s Scenario, plan *faults.Plan, reg *obs.Registry) (grid.Config, 
 // Runners
 // ---------------------------------------------------------------------------
 
+// mergeFlight chains a flight recorder behind an observer: the caller's
+// callbacks run first, then the recorder consumes the same event. Kill
+// events need no extra hook — the recorder derives them from each batch
+// report's KillEvents.
+func mergeFlight(w Observer, rec *flight.Recorder) Observer {
+	base := w
+	w.Batch = func(c int, br cluster.BatchReport) {
+		if base.Batch != nil {
+			base.Batch(c, br)
+		}
+		rec.OnBatch(c, br)
+	}
+	w.Decision = func(d grid.Decision) {
+		if base.Decision != nil {
+			base.Decision(d)
+		}
+		rec.OnDecision(d)
+	}
+	return w
+}
+
+// LogObserver is the scenario runner's half of the structured-logging
+// surface: one record per committed batch (the replan summary rides the
+// batch record through Replanned), per kill and per migration. With the
+// discard logger this is free; the CLIs wire it behind -log-level.
+func LogObserver(l *slog.Logger) Observer {
+	return Observer{
+		Batch: func(c int, br cluster.BatchReport) {
+			l.Info("batch committed",
+				"cluster", c,
+				"batch", br.Index,
+				"fire_time", br.FireTime,
+				"jobs", len(br.Jobs),
+				"winner", br.Winner,
+				"planned_makespan", br.PlannedMakespan,
+				"realized_makespan", br.RealizedMakespan,
+				"killed", len(br.Killed))
+		},
+		Kill: func(c int, k cluster.KillEvent) {
+			l.Warn("job killed",
+				"cluster", c, "job", k.TaskID, "batch", k.Batch,
+				"started", k.Start, "killed_at", k.Time)
+		},
+		Migration: func(d grid.Decision) {
+			l.Info("job migrated",
+				"job", d.JobID, "to_cluster", d.Cluster, "t", d.Release)
+		},
+	}
+}
+
+// seedFlight resets the recorder and records the stream's submissions.
+func seedFlight(rec *flight.Recorder, jobs []online.Job) {
+	rec.Reset()
+	for i := range jobs {
+		rec.Submitted(jobs[i].Task.ID, jobs[i].Release)
+	}
+}
+
+// sloOutcomes builds the SLO engine's input from the replayed stream and
+// the realized report: one outcome per submitted job, marked done (with
+// its cluster and execution bounds) when the realized schedule ran it.
+func sloOutcomes(jobs []online.Job, rep *Report) []slo.JobOutcome {
+	type placed struct {
+		cluster    int
+		start, end float64
+	}
+	place := make(map[int]placed, len(jobs))
+	if rep.Cluster != nil {
+		for _, a := range rep.Cluster.Schedule.Assignments {
+			place[a.TaskID] = placed{0, a.Start, a.End()}
+		}
+	} else if rep.Grid != nil {
+		for c, crep := range rep.Grid.Clusters {
+			for _, a := range crep.Schedule.Assignments {
+				place[a.TaskID] = placed{c, a.Start, a.End()}
+			}
+		}
+	}
+	out := make([]slo.JobOutcome, 0, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		pmin, _ := j.Task.MinTime()
+		o := slo.JobOutcome{Job: j.Task.ID, Cluster: -1, Release: j.Release, Pmin: pmin}
+		if p, ok := place[j.Task.ID]; ok {
+			o.Cluster, o.Start, o.End, o.Done = p.cluster, p.start, p.end, true
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// evaluateSLO attaches the SLO axis to the report and publishes it into
+// the runner's registry when the scenario declares an SLO block.
+func evaluateSLO(s Scenario, jobs []online.Job, rep *Report, reg *obs.Registry) {
+	if s.SLO == nil {
+		return
+	}
+	sum := slo.Evaluate(s.SLO.spec(), sloOutcomes(jobs, rep))
+	sum.Publish(reg)
+	rep.SLO = sum
+}
+
 // clusterRunner replays a single-topology scenario.
 type clusterRunner struct {
-	scn   Scenario
-	cfg   cluster.Config
-	jobs  []online.Job
-	plan  *faults.Plan
-	reg   *obs.Registry
-	watch Observer
+	scn    Scenario
+	cfg    cluster.Config
+	jobs   []online.Job
+	plan   *faults.Plan
+	reg    *obs.Registry
+	watch  Observer
+	flight *flight.Recorder
 }
 
 func (r *clusterRunner) Topology() Topology { return TopologySingle }
 
 func (r *clusterRunner) Observe(o Observer) { r.watch = o }
+
+func (r *clusterRunner) Flight(rec *flight.Recorder) { r.flight = rec }
 
 func (r *clusterRunner) Metrics() *obs.Registry { return r.reg }
 
@@ -589,7 +711,12 @@ func (r *clusterRunner) Info() Info {
 
 func (r *clusterRunner) Run(ctx context.Context) (*Report, error) {
 	cfg := r.cfg
-	if watch := r.watch; watch.Batch != nil || watch.Kill != nil {
+	watched := r.watch
+	if r.flight != nil {
+		seedFlight(r.flight, r.jobs)
+		watched = mergeFlight(watched, r.flight)
+	}
+	if watch := watched; watch.Batch != nil || watch.Kill != nil {
 		cfg.OnBatch = func(br cluster.BatchReport) {
 			if watch.Batch != nil {
 				watch.Batch(0, br)
@@ -616,22 +743,27 @@ func (r *clusterRunner) Run(ctx context.Context) (*Report, error) {
 			return nil, fmt.Errorf("realized trace violates a reservation: %w", err)
 		}
 	}
-	return &Report{Topology: TopologySingle, Jobs: len(r.jobs), Cluster: rep}, nil
+	report := &Report{Topology: TopologySingle, Jobs: len(r.jobs), Cluster: rep}
+	evaluateSLO(r.scn, r.jobs, report, r.reg)
+	return report, nil
 }
 
 // gridRunner replays a grid-topology scenario.
 type gridRunner struct {
-	scn   Scenario
-	cfg   grid.Config
-	jobs  []online.Job
-	plan  *faults.Plan
-	reg   *obs.Registry
-	watch Observer
+	scn    Scenario
+	cfg    grid.Config
+	jobs   []online.Job
+	plan   *faults.Plan
+	reg    *obs.Registry
+	watch  Observer
+	flight *flight.Recorder
 }
 
 func (r *gridRunner) Topology() Topology { return TopologyGrid }
 
 func (r *gridRunner) Observe(o Observer) { r.watch = o }
+
+func (r *gridRunner) Flight(rec *flight.Recorder) { r.flight = rec }
 
 func (r *gridRunner) Metrics() *obs.Registry { return r.reg }
 
@@ -651,6 +783,10 @@ func (r *gridRunner) Info() Info {
 func (r *gridRunner) Run(ctx context.Context) (*Report, error) {
 	cfg := r.cfg
 	watch := r.watch
+	if r.flight != nil {
+		seedFlight(r.flight, r.jobs)
+		watch = mergeFlight(watch, r.flight)
+	}
 	if watch.Decision != nil || watch.Migration != nil {
 		cfg.OnDecision = func(d grid.Decision) {
 			if watch.Decision != nil {
@@ -685,5 +821,7 @@ func (r *gridRunner) Run(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{Topology: TopologyGrid, Jobs: len(r.jobs), Grid: rep}, nil
+	report := &Report{Topology: TopologyGrid, Jobs: len(r.jobs), Grid: rep}
+	evaluateSLO(r.scn, r.jobs, report, r.reg)
+	return report, nil
 }

@@ -12,6 +12,7 @@ import (
 	"bicriteria/internal/cluster"
 	"bicriteria/internal/grid"
 	"bicriteria/internal/serve"
+	"bicriteria/internal/slo"
 )
 
 // This file renders scenario reports in the exact byte format the legacy
@@ -41,15 +42,40 @@ func FormatDecisionLine(d grid.Decision) string {
 }
 
 // WriteReport renders the unified report as the legacy text report of the
-// matching topology.
+// matching topology, followed by the SLO section when the scenario carried
+// an SLO block (absent otherwise, keeping the legacy bytes intact).
 func WriteReport(w io.Writer, info Info, rep *Report) error {
+	var err error
 	switch {
 	case rep.Cluster != nil:
-		return writeClusterText(w, info, rep.Cluster)
+		err = writeClusterText(w, info, rep.Cluster)
 	case rep.Grid != nil:
-		return writeGridText(w, info, rep.Grid)
+		err = writeGridText(w, info, rep.Grid)
+	default:
+		return fmt.Errorf("scenario: report carries neither a cluster nor a grid run")
 	}
-	return fmt.Errorf("scenario: report carries neither a cluster nor a grid run")
+	if err == nil && rep.SLO != nil {
+		writeSLOText(w, rep.SLO)
+	}
+	return err
+}
+
+// writeSLOText renders the SLO axis: the deadline misses overall and per
+// cluster, then every evaluated alert rule with its state.
+func writeSLOText(w io.Writer, sum *slo.Summary) {
+	fmt.Fprintln(w, "slo:")
+	fmt.Fprintf(w, "  deadline misses       %d of %d jobs (rate %.4f)\n", sum.Misses, sum.Jobs, sum.MissRate)
+	for _, cs := range sum.PerCluster {
+		name := strconv.Itoa(cs.Cluster)
+		if cs.Cluster < 0 {
+			name = "unplaced"
+		}
+		fmt.Fprintf(w, "    cluster %-9s misses=%-3d jobs=%-4d rate=%.4f\n", name, cs.Misses, cs.Jobs, cs.MissRate)
+	}
+	for _, a := range sum.Alerts {
+		fmt.Fprintf(w, "  alert %-21s %-9s value=%.4f threshold=%.4f (%s)\n",
+			a.Name, a.State, a.Value, a.Threshold, a.Detail)
+	}
 }
 
 func writeClusterText(w io.Writer, info Info, report *cluster.Report) error {
@@ -139,6 +165,9 @@ type jsonReport struct {
 	Policy    string          `json:"policy"`
 	Metrics   grid.Metrics    `json:"metrics"`
 	Decisions []grid.Decision `json:"decisions"`
+	// SLO appears exactly when the scenario carried an SLO block, so the
+	// legacy export bytes are untouched without one.
+	SLO *slo.Summary `json:"slo,omitempty"`
 }
 
 // WriteReportJSON exports the grid half of the report as the stable JSON
@@ -154,6 +183,7 @@ func WriteReportJSON(w io.Writer, rep *Report) error {
 		Policy:    rep.Grid.Policy,
 		Metrics:   rep.Grid.Metrics,
 		Decisions: rep.Grid.Decisions,
+		SLO:       rep.SLO,
 	})
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"bicriteria/internal/slo"
 	"bicriteria/internal/validate"
 )
 
@@ -234,6 +235,65 @@ type TraceSpec struct {
 	Format string `json:"format,omitempty"`
 }
 
+// SLOVersion is the current version of the SLO block.
+const SLOVersion = 1
+
+// SLOSpec declares the per-job service-level objectives of a scenario:
+// a deadline per job (release + deadline_factor · the job's own lower
+// bound pmin), an overall miss budget with an optional burn-rate window,
+// and tail targets on stretch and wait. The block is versioned
+// independently of the scenario so SLO rules can evolve without a spec
+// bump. A nil section evaluates nothing.
+type SLOSpec struct {
+	// Version is the SLO block version, currently 1; zero is normalized.
+	Version int `json:"version,omitempty"`
+	// DeadlineFactor sets every job's deadline to release + factor·pmin;
+	// zero means slo.DefaultDeadlineFactor.
+	DeadlineFactor float64 `json:"deadline_factor,omitempty"`
+	// MissBudget is the tolerated deadline-miss rate in [0, 1); the
+	// deadline alert fires above it.
+	MissBudget float64 `json:"miss_budget,omitempty"`
+	// BurnWindow, when positive, additionally watches the trailing
+	// window (in simulated time units) of completions; BurnFactor scales
+	// the burn alert's threshold (zero means slo.DefaultBurnFactor).
+	BurnWindow float64 `json:"burn_window,omitempty"`
+	BurnFactor float64 `json:"burn_factor,omitempty"`
+	// StretchPercentile/StretchTarget alert when the given percentile of
+	// job stretch exceeds the target; a zero target disables the rule.
+	StretchPercentile float64 `json:"stretch_percentile,omitempty"`
+	StretchTarget     float64 `json:"stretch_target,omitempty"`
+	// WaitPercentile/WaitTarget alert on the wait-time tail the same way.
+	WaitPercentile float64 `json:"wait_percentile,omitempty"`
+	WaitTarget     float64 `json:"wait_target,omitempty"`
+}
+
+// spec converts the block to the SLO engine's resolved rule set.
+func (s *SLOSpec) spec() slo.Spec {
+	return slo.Spec{
+		DeadlineFactor:    s.DeadlineFactor,
+		MissBudget:        s.MissBudget,
+		BurnWindow:        s.BurnWindow,
+		BurnFactor:        s.BurnFactor,
+		StretchPercentile: s.StretchPercentile,
+		StretchTarget:     s.StretchTarget,
+		WaitPercentile:    s.WaitPercentile,
+		WaitTarget:        s.WaitTarget,
+	}
+}
+
+func (s *SLOSpec) validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Version != 0 && s.Version != SLOVersion {
+		return validate.Errorf("slo.version", "unsupported SLO block version %d (want %d)", s.Version, SLOVersion)
+	}
+	if err := s.spec().Validate(); err != nil {
+		return validate.Prefix("slo", err)
+	}
+	return nil
+}
+
 // Scenario is the complete declarative spec of one experiment: the single
 // input every layer of the stack — offline cluster replay, grid
 // federation, live service — compiles from.
@@ -271,6 +331,10 @@ type Scenario struct {
 	Service *Service `json:"service,omitempty"`
 	// Trace, when present, renders the run's event stream to a file.
 	Trace *TraceSpec `json:"trace,omitempty"`
+	// SLO, when present, evaluates per-job deadlines and tail targets
+	// after every run and attaches the summary (and its alerts) to the
+	// report.
+	SLO *SLOSpec `json:"slo,omitempty"`
 }
 
 // Option mutates a scenario under construction; see New.
@@ -403,6 +467,10 @@ func WithTrace(path, format string) Option {
 	return func(s *Scenario) { s.Trace = &TraceSpec{Path: path, Format: format} }
 }
 
+// WithSLO attaches a service-level-objective section: per-job deadlines
+// and tail targets evaluated after every run.
+func WithSLO(spec SLOSpec) Option { return func(s *Scenario) { s.SLO = &spec } }
+
 // Normalized returns a copy with the resolvable defaults filled in: the
 // current version for a zero version and the inferred topology for an
 // empty one. Deeper zero-means-default fields (batch knobs, objective
@@ -490,6 +558,9 @@ func (s Scenario) Validate() error {
 		return err
 	}
 	if err := s.Trace.validate(); err != nil {
+		return err
+	}
+	if err := s.SLO.validate(); err != nil {
 		return err
 	}
 	return s.Service.validate()

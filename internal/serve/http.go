@@ -8,10 +8,13 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"bicriteria/internal/flight"
 	"bicriteria/internal/grid"
 	"bicriteria/internal/moldable"
+	"bicriteria/internal/slo"
 	"bicriteria/internal/stats"
 )
 
@@ -119,23 +122,63 @@ const (
 
 // Handler returns the HTTP API of the service:
 //
-//	POST /jobs         submit one job or a bulk batch
-//	GET  /jobs/{id}    live status of a job
-//	GET  /metrics      counters, state counts, distributions, grid aggregate
-//	GET  /metrics.prom the same state in the Prometheus text format
-//	GET  /healthz      liveness, drain state, uptime, snapshot age
-//	GET  /version      build information
-//	POST /drain        graceful drain; responds with the final report
+//	POST /jobs                  submit one job or a bulk batch
+//	GET  /jobs/{id}             live status of a job
+//	GET  /jobs/{id}/timeline    the job's flight-recorder timeline
+//	GET  /alerts                SLO alert states (firing and resolved)
+//	GET  /metrics               counters, state counts, distributions, grid aggregate
+//	GET  /metrics.prom          the same state in the Prometheus text format
+//	GET  /healthz               liveness, drain state, uptime, snapshot age
+//	GET  /version               build information
+//	POST /drain                 graceful drain; responds with the final report
+//
+// Every request is stamped with a sequential request ID (echoed in the
+// X-Request-Id response header) and logged to the configured logger.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.prom", s.handlePromMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.HandleFunc("POST /drain", s.handleDrain)
-	return mux
+	return s.accessLog(mux)
+}
+
+// requestID numbers the requests of this process for the access log.
+var requestID atomic.Uint64
+
+// statusRecorder captures the status code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog stamps every request with a process-sequential ID (echoed as
+// X-Request-Id) and writes one structured access-log record per request.
+// With the default discard logger the wrapper only costs the stamp.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := requestID.Add(1)
+		w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration", time.Since(start))
+	})
 }
 
 // writeJSON writes a JSON response body.
@@ -250,6 +293,96 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, status)
+}
+
+// TimelineResponse is the body of GET /jobs/{id}/timeline: the job's
+// flight-recorder events in total order, trusted up to the virtual time of
+// the last replay. Final is true after a drain (the timeline can no longer
+// change); while false, TrustedTo carries the prefix boundary. A job that
+// has been admitted but not yet reached by a trusted replay shows its
+// submitted event only.
+type TimelineResponse struct {
+	Job       int            `json:"job"`
+	Final     bool           `json:"final"`
+	TrustedTo *float64       `json:"trusted_to,omitempty"`
+	Events    []flight.Event `json:"events"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "job ID must be an integer"})
+		return
+	}
+	status, ok := s.Status(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown job %d", id)})
+		return
+	}
+	s.liveMu.RLock()
+	rec, at := s.flightRec, s.flightAt
+	s.liveMu.RUnlock()
+	resp := TimelineResponse{Job: id, Events: []flight.Event{}}
+	if math.IsInf(at, 1) {
+		resp.Final = true
+	} else if rec != nil && !math.IsInf(at, -1) {
+		trusted := at
+		resp.TrustedTo = &trusted
+	}
+	if rec != nil {
+		for _, ev := range rec.Timeline(id) {
+			// The same prefix rule apply uses: an event at the margin of the
+			// capture time could still change and stays provisional.
+			if resp.Final || ev.Time < at-eps {
+				resp.Events = append(resp.Events, ev)
+			}
+		}
+	}
+	if len(resp.Events) == 0 {
+		// Admitted but not yet inside a trusted replay: the submission
+		// itself is still a fact worth reporting.
+		resp.Events = append(resp.Events, flight.Event{
+			Kind: flight.KindSubmitted, Job: id, Time: status.Release,
+			Cluster: -1, Batch: -1,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AlertsResponse is the body of GET /alerts. Enabled reports whether an
+// SLO spec is configured; with none, both alert lists are empty. Jobs and
+// Misses summarize the deadline axis of the last evaluation.
+type AlertsResponse struct {
+	Enabled  bool        `json:"enabled"`
+	Jobs     int         `json:"jobs"`
+	Misses   int         `json:"misses"`
+	MissRate float64     `json:"miss_rate"`
+	Firing   []slo.Alert `json:"firing"`
+	Resolved []slo.Alert `json:"resolved"`
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	resp := AlertsResponse{
+		Enabled:  s.cfg.SLO != nil,
+		Firing:   []slo.Alert{},
+		Resolved: []slo.Alert{},
+	}
+	s.liveMu.RLock()
+	sum := s.sloSum
+	s.liveMu.RUnlock()
+	if sum != nil {
+		resp.Jobs = sum.Jobs
+		resp.Misses = sum.Misses
+		resp.MissRate = sum.MissRate
+		for _, a := range sum.Alerts {
+			if a.Firing() {
+				resp.Firing = append(resp.Firing, a)
+			} else {
+				resp.Resolved = append(resp.Resolved, a)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"bicriteria/internal/logx"
+)
+
+// syncBuffer guards the log buffer: the server logs from its own
+// goroutines (refresher, drain) as well as from handlers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// records parses every JSON log line emitted so far.
+func (b *syncBuffer) records(t *testing.T) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", sc.Text(), err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// TestStructuredLogging pins the serve log stream: a startup record, one
+// request-ID-stamped access record per HTTP request (the ID echoed as
+// X-Request-Id), admission-rejection warnings, and the drain lifecycle.
+func TestStructuredLogging(t *testing.T) {
+	var buf syncBuffer
+	logger, err := logx.New(&buf, "info", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newTestServer(t, func(c *Config) { c.Logger = logger })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("response lacks X-Request-Id")
+	}
+
+	if _, err := s.Submit(seqTask(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(seqTask(1, 5)); err == nil {
+		t.Fatal("duplicate submission accepted")
+	}
+	if _, err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	var started, access, rejected, drainStart, drainDone bool
+	for _, rec := range buf.records(t) {
+		switch rec["msg"] {
+		case "server started":
+			started = true
+			if rec["clusters"] != float64(2) || rec["policy"] != "least-backlog" {
+				t.Errorf("startup record = %v", rec)
+			}
+		case "request":
+			if rec["path"] == "/healthz" {
+				access = true
+				if rec["status"] != float64(200) || rec["method"] != "GET" {
+					t.Errorf("access record = %v", rec)
+				}
+				if id, ok := rec["id"].(float64); !ok || reqID != strconv.FormatFloat(id, 'f', -1, 64) {
+					t.Errorf("access record id %v != header %q", rec["id"], reqID)
+				}
+			}
+		case "submission rejected":
+			rejected = true
+			if rec["reason"] != "duplicate" || rec["job"] != float64(1) {
+				t.Errorf("rejection record = %v", rec)
+			}
+		case "drain started":
+			drainStart = true
+		case "drain complete":
+			drainDone = true
+		}
+	}
+	for name, seen := range map[string]bool{
+		"server started": started, "request": access, "submission rejected": rejected,
+		"drain started": drainStart, "drain complete": drainDone,
+	} {
+		if !seen {
+			t.Errorf("log stream lacks a %q record:\n%s", name, buf.String())
+		}
+	}
+}

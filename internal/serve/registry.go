@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"bicriteria/internal/cluster"
+	"bicriteria/internal/slo"
 )
 
 // JobState is the lifecycle position of a submitted job. States only move
@@ -260,4 +261,24 @@ func (r *registry) eachDone(fn func(JobStatus)) {
 			fn(*j)
 		}
 	}
+}
+
+// sloOutcomes builds the SLO engine's input from the completed jobs
+// (order unspecified — Evaluate sorts internally). Unfinished jobs are
+// left out: a live service should not count a job still in flight as a
+// deadline miss.
+func (r *registry) sloOutcomes() []slo.JobOutcome {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]slo.JobOutcome, 0, len(r.jobs))
+	for id, j := range r.jobs {
+		if j.State != StateDone {
+			continue
+		}
+		out = append(out, slo.JobOutcome{
+			Job: id, Cluster: j.Cluster, Release: j.Release, Pmin: r.pmin[id],
+			Start: j.Start, End: j.End, Done: true,
+		})
+	}
+	return out
 }

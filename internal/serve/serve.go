@@ -38,14 +38,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
 
+	"bicriteria/internal/flight"
 	"bicriteria/internal/grid"
+	"bicriteria/internal/logx"
 	"bicriteria/internal/moldable"
 	"bicriteria/internal/obs"
 	"bicriteria/internal/online"
+	"bicriteria/internal/slo"
 	"bicriteria/internal/validate"
 )
 
@@ -108,6 +112,16 @@ type Config struct {
 	// federation (portfolio and routing timings land in the same scrape)
 	// and serves it in the Prometheus text format at GET /metrics.prom.
 	Metrics *obs.Registry
+	// SLO, when non-nil, evaluates the deadline and tail-latency alerts
+	// over the completed jobs after every refresh and drain; GET /alerts
+	// serves the firing/resolved states and the alert gauges land in the
+	// registry.
+	SLO *slo.Spec
+	// Logger receives the service's structured logs: request-ID-stamped
+	// access logs (attached by Handler), admission rejections and the
+	// snapshot/drain lifecycle. Nil means silence (a discard logger), so
+	// a default service stays byte-quiet.
+	Logger *slog.Logger
 }
 
 // Counters are the monotone admission statistics of a service.
@@ -205,6 +219,15 @@ type Server struct {
 	liveAt      float64
 	refreshErr  error
 	snapshotErr error
+	// flightRec is the flight recorder rebuilt from the latest replay
+	// report; flightAt is the virtual time its prefix is trusted up to
+	// (+Inf after the drain's final replay). GET /jobs/{id}/timeline
+	// serves the events at or before flightAt.
+	flightRec *flight.Recorder
+	flightAt  float64
+	// sloSum is the latest SLO evaluation (nil while no SLO is configured
+	// or no refresh has run); GET /alerts serves it.
+	sloSum *slo.Summary
 	// lastSnapshot is the wall time of the last successful snapshot write
 	// (zero while none has been written); /healthz turns it into an age so
 	// probes can spot a wedged snapshot loop.
@@ -212,6 +235,9 @@ type Server struct {
 
 	// obs is the Prometheus-style registry behind GET /metrics.prom.
 	obs *obs.Registry
+
+	// logger is cfg.Logger, defaulted to a discard logger.
+	logger *slog.Logger
 
 	started  time.Time
 	stopCh   chan struct{}
@@ -271,6 +297,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = logx.Discard()
+	}
+	if cfg.SLO != nil {
+		spec := cfg.SLO.Normalized()
+		if err := spec.Validate(); err != nil {
+			return nil, validate.Prefix("slo", err)
+		}
+		cfg.SLO = &spec
+	}
 	// One registry for the whole process: shard portfolio latencies and
 	// routing timings land in the same scrape as the service's own series.
 	cfg.Grid.Metrics = cfg.Metrics
@@ -290,6 +326,7 @@ func NewServer(cfg Config) (*Server, error) {
 		totalProcs: total,
 		reg:        newRegistry(),
 		obs:        cfg.Metrics,
+		logger:     cfg.Logger,
 		stopCh:     make(chan struct{}),
 		loopCtx:    loopCtx,
 		loopCancel: loopCancel,
@@ -326,6 +363,17 @@ func NewServer(cfg Config) (*Server, error) {
 		s.loopWG.Add(1)
 		go s.snapshotLoop(cfg.SnapshotInterval)
 	}
+	policy := "least-backlog"
+	if cfg.Grid.Routing != nil {
+		policy = cfg.Grid.Routing.Name()
+	}
+	s.logger.Info("server started",
+		"clusters", len(cfg.Grid.Clusters),
+		"procs", total,
+		"policy", policy,
+		"speedup", cfg.Speedup,
+		"restored", s.counters.Restored,
+		"slo", cfg.SLO != nil)
 	return s, nil
 }
 
@@ -356,14 +404,17 @@ func (s *Server) Submit(task moldable.Task) (Accepted, error) {
 	// prefix rule builds on.
 	now := s.pacer.wall()
 	if s.draining {
+		s.logger.Warn("submission rejected", "job", task.ID, "reason", "draining")
 		return Accepted{}, &Rejection{Reason: "draining"}
 	}
 	if s.reg.has(task.ID) {
+		s.logger.Warn("submission rejected", "job", task.ID, "reason", "duplicate")
 		return Accepted{}, &DuplicateError{ID: task.ID}
 	}
 	if s.bucket != nil {
 		if ok, retry := s.bucket.take(now); !ok {
 			s.counters.RejectedRate++
+			s.logger.Warn("submission rejected", "job", task.ID, "reason", "rate-limit", "retry_after", retry)
 			return Accepted{}, &Rejection{Reason: "rate-limit", RetryAfter: retry}
 		}
 	}
@@ -372,6 +423,7 @@ func (s *Server) Submit(task moldable.Task) (Accepted, error) {
 		if backlog := s.ready - vnow; backlog > s.cfg.AdmitBacklog {
 			s.counters.RejectedBacklog++
 			retry := s.pacer.realDuration(backlog - s.cfg.AdmitBacklog)
+			s.logger.Warn("submission rejected", "job", task.ID, "reason", "backlog", "backlog", backlog, "retry_after", retry)
 			return Accepted{}, &Rejection{Reason: "backlog", RetryAfter: retry}
 		}
 	}
@@ -386,6 +438,7 @@ func (s *Server) Submit(task moldable.Task) (Accepted, error) {
 		if retry < 10*time.Millisecond {
 			retry = 10 * time.Millisecond
 		}
+		s.logger.Warn("submission rejected", "job", task.ID, "reason", "queue-full", "retry_after", retry)
 		return Accepted{}, &Rejection{Reason: "queue-full", RetryAfter: retry}
 	}
 	if s.ready < vnow {
@@ -490,12 +543,14 @@ func (s *Server) refresh() error {
 		return err
 	}
 	s.apply(rep, vnow, false)
+	s.observe(rep, vnow, false)
 	s.liveMu.Lock()
 	s.live = &rep.Metrics
 	if !math.IsInf(vnow, -1) {
 		s.liveAt = vnow
 	}
 	s.liveMu.Unlock()
+	s.logger.Debug("refresh complete", "jobs", len(jobs), "virtual_now", vnow)
 	return nil
 }
 
@@ -587,6 +642,38 @@ func (s *Server) apply(rep *grid.Report, vnow float64, final bool) {
 	}
 }
 
+// observe folds a replay report into the observability surfaces beyond
+// the registry: the flight recorder behind GET /jobs/{id}/timeline and,
+// when an SLO is configured, the alert summary behind GET /alerts. The
+// recorder is rebuilt from the report (the federation cannot stream
+// observers — it replays the stream repeatedly); the trusted prefix is
+// vnow, or +Inf after the drain's final replay.
+func (s *Server) observe(rep *grid.Report, vnow float64, final bool) {
+	rec := flight.FromGridReport(rep)
+	at := vnow
+	if final {
+		at = math.Inf(1)
+	}
+	var sum *slo.Summary
+	if s.cfg.SLO != nil {
+		sum = slo.Evaluate(*s.cfg.SLO, s.reg.sloOutcomes())
+		sum.Publish(s.obs)
+		for _, a := range sum.Alerts {
+			if a.State == slo.StateFiring {
+				s.logger.Warn("slo alert firing",
+					"alert", a.Name, "value", a.Value, "threshold", a.Threshold)
+			}
+		}
+	}
+	s.liveMu.Lock()
+	s.flightRec = rec
+	s.flightAt = at
+	if sum != nil {
+		s.sloSum = sum
+	}
+	s.liveMu.Unlock()
+}
+
 // stopLoops stops the refresher and the snapshot writer, cancelling any
 // in-flight refresh replay so the wait is short.
 func (s *Server) stopLoops() {
@@ -605,6 +692,7 @@ func (s *Server) stopLoops() {
 // comes back. Drain is idempotent; later calls return the same report.
 func (s *Server) Drain() (*FinalReport, error) {
 	s.drainOnce.Do(func() {
+		s.logger.Info("drain started")
 		s.mu.Lock()
 		s.draining = true
 		s.mu.Unlock()
@@ -623,9 +711,11 @@ func (s *Server) Drain() (*FinalReport, error) {
 		rep, err := s.fed.Run(jobs)
 		if err != nil {
 			s.drainErr = err
+			s.logger.Error("drain replay failed", "error", err)
 			return
 		}
 		s.apply(rep, vnow, true)
+		s.observe(rep, vnow, true)
 		s.liveMu.Lock()
 		s.live = &rep.Metrics
 		s.liveAt = vnow
@@ -644,8 +734,10 @@ func (s *Server) Drain() (*FinalReport, error) {
 				s.liveMu.Lock()
 				s.snapshotErr = err
 				s.liveMu.Unlock()
+				s.logger.Error("final snapshot failed", "error", err)
 			}
 		}
+		s.logger.Info("drain complete", "jobs", len(jobs), "virtual_now", vnow)
 	})
 	return s.final, s.drainErr
 }

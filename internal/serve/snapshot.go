@@ -91,6 +91,7 @@ func (s *Server) writeSnapshot() error {
 	s.liveMu.Lock()
 	s.lastSnapshot = s.pacer.wall()
 	s.liveMu.Unlock()
+	s.logger.Debug("snapshot written", "path", s.cfg.SnapshotPath, "jobs", len(jobs))
 	return nil
 }
 
@@ -141,6 +142,7 @@ func (s *Server) restoreSnapshot(path string) (float64, error) {
 	// entries that never existed).
 	s.counters.Submitted = len(snap.Jobs)
 	s.counters.Restored = len(snap.Jobs)
+	s.logger.Info("snapshot restored", "path", path, "jobs", len(snap.Jobs), "virtual_now", snap.VirtualNow)
 	return snap.VirtualNow, nil
 }
 
