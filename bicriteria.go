@@ -73,6 +73,7 @@ type (
 	ScenarioFaults      = scenario.Faults
 	ScenarioService     = scenario.Service
 	ScenarioSLO         = scenario.SLOSpec
+	ScenarioRacing      = scenario.RacingSpec
 )
 
 // ValidationError is the unified configuration error of the library: it
@@ -105,6 +106,7 @@ var (
 	ScenarioWithService     = scenario.WithService
 	ScenarioWithTrace       = scenario.WithTrace
 	ScenarioWithSLO         = scenario.WithSLO
+	ScenarioWithRacing      = scenario.WithRacing
 )
 
 // ScenarioTrace is the optional trace section of a scenario: where and
@@ -162,6 +164,7 @@ func ScenarioFaultSeed(seed int64) int64 { return seed ^ scenario.FaultSeedSalt 
 // and runtime-tail streams.
 const (
 	ScenarioFaultSeedSalt = scenario.FaultSeedSalt
+	ScenarioRaceSeedSalt  = scenario.RaceSeedSalt
 	ArrivalSeedSalt       = workload.ArrivalSeedSalt
 	RuntimeSeedSalt       = workload.RuntimeSeedSalt
 )
@@ -639,6 +642,14 @@ type ClusterAlgorithm = cluster.Algorithm
 
 // ClusterCandidate reports one portfolio member's score on a batch.
 type ClusterCandidate = cluster.Candidate
+
+// ClusterRacing configures portfolio racing: a cutoff factor above 1
+// cancels portfolio stragglers as soon as one candidate's score is
+// provably within the factor of the batch lower bound, with an optional
+// seeded bandit biasing the launch order toward recent winners. Racing
+// never changes the committed schedules — concurrent and sequential
+// replays stay byte-identical.
+type ClusterRacing = cluster.Racing
 
 // ClusterObjective selects the criterion the engine minimizes per batch.
 type ClusterObjective = cluster.Objective

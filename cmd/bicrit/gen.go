@@ -43,6 +43,9 @@ func genCmd(args []string, out io.Writer) error {
 	routingFlag := fs.String("routing", "", "grid routing policy: round-robin, least-backlog (default), lower-bound or moldability")
 	admit := fs.Float64("admit", 0, "grid admission control backlog limit (0 = unlimited)")
 	noise := fs.Float64("noise", 0, "runtime perturbation fraction in [0, 1)")
+	raceCutoff := fs.Float64("race-cutoff", 0, "racing section: portfolio cutoff factor vs the batch lower bound; >1 enables racing (0 = omit the section)")
+	bandit := fs.Bool("bandit", false, "racing section: bias the launch order toward recent winners")
+	raceSeed := fs.Int64("race-seed", 0, "racing section: explicit bandit seed (0 = derive seed^ScenarioRaceSeedSalt)")
 	faultMTBF := fs.Float64("fault-mtbf", 0, "fault injection: mean time between failures per node (0 = no faults section)")
 	faultShape := fs.Float64("fault-shape", 0, "Weibull shape of the failure law (0 = default)")
 	faultRepair := fs.Float64("fault-repair", 0, "mean node repair duration (0 = mtbf/10)")
@@ -98,6 +101,13 @@ func genCmd(args []string, out io.Writer) error {
 		Objective: bicriteria.ScenarioObjective{Kind: *objectiveFlag, Alpha: *alpha},
 		Routing:   bicriteria.ScenarioRouting{Policy: *routingFlag, AdmitBacklog: *admit},
 		Noise:     *noise,
+	}
+	if *raceCutoff > 0 || *bandit || *raceSeed != 0 {
+		scn.Racing = &bicriteria.ScenarioRacing{
+			Cutoff: *raceCutoff,
+			Bandit: *bandit,
+			Seed:   *raceSeed,
+		}
 	}
 	if *faultMTBF > 0 || *faultCorrMTBF > 0 || *shardMTBF > 0 {
 		scn.Faults = &bicriteria.ScenarioFaults{

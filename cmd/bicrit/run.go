@@ -17,6 +17,8 @@ func runCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bicrit run", flag.ContinueOnError)
 	verbose := fs.Bool("v", false, "print one line per batch (single topology) or routing decision (grid)")
 	sequential := fs.Bool("sequential", false, "force the goroutine-free replay path (overrides the scenario)")
+	raceCutoff := fs.Float64("race-cutoff", 0, "portfolio racing cutoff factor vs the batch lower bound; >1 enables racing, 0 or 1 disables (overrides the scenario)")
+	bandit := fs.Bool("bandit", false, "bias the racing launch order toward recent winners (overrides the scenario)")
 	jsonPath := fs.String("json", "", "write the full grid report as JSON (grid topology)")
 	csvPath := fs.String("csv", "", "write the per-cluster summary table as CSV (grid topology)")
 	tracePath := fs.String("trace", "", "write the event trace to this file (overrides the scenario's trace section)")
@@ -41,6 +43,22 @@ func runCmd(args []string, out io.Writer) error {
 	if *sequential {
 		scn.Sequential = true
 	}
+	// -race-cutoff and -bandit override the scenario's racing section only
+	// when set on the command line, so `bicrit run scenario.json` replays
+	// the file's own racing configuration untouched.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "race-cutoff" && f.Name != "bandit" {
+			return
+		}
+		if scn.Racing == nil {
+			scn.Racing = &bicriteria.ScenarioRacing{}
+		}
+		if f.Name == "race-cutoff" {
+			scn.Racing.Cutoff = *raceCutoff
+		} else {
+			scn.Racing.Bandit = *bandit
+		}
+	})
 	// The -trace flag overrides the scenario's trace section.
 	traceSpec := scn.Trace
 	if *tracePath != "" {

@@ -11,6 +11,20 @@
 // pluggable policies and schedules every batch with a concurrent algorithm
 // portfolio.
 //
+// The portfolio can also race (the ClusterRacing config and the "racing"
+// scenario block): members launch under one cancellable context that
+// threads through the DEMT phase loops and the baselines' list loops, and
+// as soon as a candidate is provably within a configurable factor of the
+// batch's certified lower bound, every member launched after it is
+// cancelled mid-flight. A seeded bandit-style selector biases the launch
+// order toward recent winners. The cut is decided by launch position, not
+// finish time, so racing replays stay byte-identical between concurrent
+// and sequential runs; a cutoff factor of 1 (or 0) disables racing and
+// reproduces the non-racing engine exactly. Cut-off members surface as
+// bicrit_portfolio_cancelled_total / cutoff_hits counters, per-batch
+// flight-recorder provenance (bicrit explain), and the PortfolioRace
+// benchmark of the perf suite.
+//
 // On top of the single-cluster engine sits a sharded grid federation
 // (internal/grid, exported as the Grid* identifiers): N independent
 // cluster engines with heterogeneous sizes, reservations and noise seeds
@@ -111,7 +125,8 @@
 // The perf observatory (internal/perf) closes the loop from
 // instrumentation to regression control: a named benchmark suite drives
 // every instrumented hot path — DEMT's knapsack and compaction phases,
-// each portfolio algorithm, batch planning, the cluster replay, the
+// each portfolio algorithm, batch planning with and without portfolio
+// racing (PortfolioRace vs BatchPlan), the cluster replay, the
 // grid federation at 1/4/8 shards, the serve layer's bulk HTTP ingest
 // and scenario compilation — under the standard testing harness, and
 // records the measurements as versioned BENCH trajectories (commit, Go

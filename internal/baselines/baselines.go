@@ -14,6 +14,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,6 +28,14 @@ import (
 // allocation), one task after the other, sorted by decreasing ratio of
 // weight over execution time (Smith's rule on the gang execution times).
 func Gang(inst *moldable.Instance) (*schedule.Schedule, error) {
+	return GangContext(context.Background(), inst)
+}
+
+// GangContext is Gang with cancellation: the context is checked at every
+// task placement so a racing portfolio can abort a straggling member. A
+// cancellation returns the context's error (errors.Is(err, ctx.Err())
+// holds).
+func GangContext(ctx context.Context, inst *moldable.Instance) (*schedule.Schedule, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -49,6 +58,9 @@ func Gang(inst *moldable.Instance) (*schedule.Schedule, error) {
 	sched := schedule.New(inst.M)
 	now := 0.0
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baselines: gang loop aborted: %w", err)
+		}
 		t := &inst.Tasks[e.idx]
 		sched.Add(schedule.Assignment{
 			TaskID:   t.ID,
@@ -65,6 +77,12 @@ func Gang(inst *moldable.Instance) (*schedule.Schedule, error) {
 // Sequential schedules every task on a single processor with the classical
 // largest-processing-time-first list algorithm.
 func Sequential(inst *moldable.Instance) (*schedule.Schedule, error) {
+	return SequentialContext(context.Background(), inst)
+}
+
+// SequentialContext is Sequential with cancellation, checked inside the
+// underlying list loop.
+func SequentialContext(ctx context.Context, inst *moldable.Instance) (*schedule.Schedule, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,7 +91,7 @@ func Sequential(inst *moldable.Instance) (*schedule.Schedule, error) {
 		items[i] = listsched.Item{TaskID: inst.Tasks[i].ID, NProcs: 1, Duration: inst.Tasks[i].SeqTime()}
 	}
 	sort.SliceStable(items, func(a, b int) bool { return items[a].Duration > items[b].Duration })
-	return listsched.Graham(inst.M, items)
+	return listsched.GrahamContext(ctx, inst.M, items)
 }
 
 // ListOrder selects the priority order of the ListGraham baseline.
@@ -110,6 +128,12 @@ func (o ListOrder) String() string {
 // ListGraham computes the dual-approximation allotment and runs the Graham
 // list algorithm with the requested order.
 func ListGraham(inst *moldable.Instance, order ListOrder) (*schedule.Schedule, error) {
+	return ListGrahamContext(context.Background(), inst, order)
+}
+
+// ListGrahamContext is ListGraham with cancellation, checked inside the
+// underlying list loop.
+func ListGrahamContext(ctx context.Context, inst *moldable.Instance, order ListOrder) (*schedule.Schedule, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,13 +141,19 @@ func ListGraham(inst *moldable.Instance, order ListOrder) (*schedule.Schedule, e
 	if err != nil {
 		return nil, err
 	}
-	return ListGrahamWithAllotment(inst, res, order)
+	return ListGrahamWithAllotmentContext(ctx, inst, res, order)
 }
 
 // ListGrahamWithAllotment is ListGraham with a pre-computed
 // dual-approximation result (so the three variants can share one allotment
 // computation, as the experiment harness does).
 func ListGrahamWithAllotment(inst *moldable.Instance, res *dualapprox.Result, order ListOrder) (*schedule.Schedule, error) {
+	return ListGrahamWithAllotmentContext(context.Background(), inst, res, order)
+}
+
+// ListGrahamWithAllotmentContext is ListGrahamWithAllotment with
+// cancellation, checked inside the underlying list loop.
+func ListGrahamWithAllotmentContext(ctx context.Context, inst *moldable.Instance, res *dualapprox.Result, order ListOrder) (*schedule.Schedule, error) {
 	if len(res.Allotment) != inst.N() {
 		return nil, fmt.Errorf("baselines: allotment has %d entries for %d tasks", len(res.Allotment), inst.N())
 	}
@@ -157,7 +187,7 @@ func ListGrahamWithAllotment(inst *moldable.Instance, res *dualapprox.Result, or
 	default:
 		return nil, fmt.Errorf("baselines: unknown list order %d", int(order))
 	}
-	return listsched.Graham(inst.M, items)
+	return listsched.GrahamContext(ctx, inst.M, items)
 }
 
 // shelfRank maps task IDs to their group in the shelf order: 0 for the

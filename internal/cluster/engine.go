@@ -65,6 +65,12 @@ type Config struct {
 	// The committed schedules are identical either way; the switch exists
 	// for debugging and for the determinism tests.
 	Sequential bool
+	// Racing enables the portfolio early cutoff: members launch in a
+	// deterministic order and stragglers are cancelled as soon as one
+	// candidate's score is provably within Racing.Cutoff of the batch
+	// lower bound. The zero value (cutoff 0) disables racing and is
+	// bit-identical to the plain portfolio.
+	Racing Racing
 	// Outages lists absolute-time machine down windows (node crash/repair
 	// spans, typically one cluster of a faults plan). A job running when
 	// an outage begins is killed and re-enqueued into the next batch under
@@ -102,6 +108,11 @@ type BatchReport struct {
 	// Candidates reports every portfolio member's score, in portfolio
 	// order.
 	Candidates []Candidate
+	// CutOff lists the algorithms cancelled by the racing early cutoff on
+	// this batch, in portfolio order. Empty (and absent from serialized
+	// reports) when racing is disabled or the cutoff never fired, so
+	// non-racing reports keep their exact wire format.
+	CutOff []string `json:",omitempty"`
 	// PlannedMakespan is the batch-relative makespan of the committed plan
 	// (after placement around reservations).
 	PlannedMakespan float64
@@ -191,6 +202,9 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Objective.Validate(); err != nil {
 		return nil, validate.Prefix("objective", err)
 	}
+	if err := cfg.Racing.Validate(); err != nil {
+		return nil, validate.Prefix("racing", err)
+	}
 	if cfg.Policy == nil {
 		cfg.Policy = BatchOnIdle()
 	}
@@ -265,6 +279,21 @@ func (e *Engine) RunContext(ctx context.Context, jobs []online.Job) (*Report, er
 
 	report := &Report{Schedule: schedule.New(e.cfg.M), Blocked: e.blocked}
 	acc := newMetricsAccumulator(e.cfg.M)
+	var race *raceState
+	if e.cfg.Racing.Enabled() {
+		race = newRaceState(len(e.cfg.Portfolio), e.cfg.Racing)
+		if e.cfg.Metrics != nil {
+			// Touch the racing counters so scrapers see them at zero from
+			// the first batch, even before any cutoff fires.
+			e.cfg.Metrics.Counter("bicrit_portfolio_cutoff_hits_total",
+				"Batches where the racing cutoff fired and cancelled at least one member.").Add(0)
+			for _, a := range e.cfg.Portfolio {
+				e.cfg.Metrics.Counter("bicrit_portfolio_cancelled_total",
+					"Portfolio members cut off by the racing early cutoff.",
+					obs.L("algorithm", a.Name)).Add(0)
+			}
+		}
+	}
 	var fstate *faultState
 	if len(e.cfg.Outages) > 0 {
 		fstate = newFaultState(e.cfg.Replan, e.cfg.MaxRetries)
@@ -316,7 +345,7 @@ func (e *Engine) RunContext(ctx context.Context, jobs []online.Job) (*Report, er
 			// now.
 		}
 
-		br, advance, resub, err := e.runBatch(batchIndex, now, pending, busyAbs, infos, acc, report, fstate)
+		br, advance, resub, err := e.runBatch(ctx, batchIndex, now, pending, busyAbs, infos, acc, report, fstate, race)
 		if err != nil {
 			return nil, err
 		}
@@ -339,8 +368,8 @@ func (e *Engine) RunContext(ctx context.Context, jobs []online.Job) (*Report, er
 // batch report, how far the batch advances the clock (its realized
 // makespan, or the last kill instant if an outage cut the batch short) and
 // the killed jobs to re-enqueue.
-func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs []listsched.Busy,
-	infos map[int]jobInfo, acc *metricsAccumulator, report *Report, fstate *faultState) (BatchReport, float64, []online.Job, error) {
+func (e *Engine) runBatch(ctx context.Context, index int, now float64, pending []online.Job, busyAbs []listsched.Busy,
+	infos map[int]jobInfo, acc *metricsAccumulator, report *Report, fstate *faultState, race *raceState) (BatchReport, float64, []online.Job, error) {
 	tasks := make([]moldable.Task, len(pending))
 	ids := make([]int, len(pending))
 	for i := range pending {
@@ -351,11 +380,17 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 	inst := moldable.NewInstance(e.cfg.M, tasks)
 
 	planStart := time.Now()
-	cands, scheds, win, err := runPortfolio(inst, e.cfg.Portfolio, e.cfg.Objective, e.cfg.Sequential, e.cfg.Metrics)
+	cands, scheds, win, err := runPortfolio(ctx, inst, e.cfg.Portfolio, e.cfg.Objective, e.cfg.Sequential, e.cfg.Metrics, e.cfg.Racing, race)
 	if err != nil {
 		return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: %w", index, err)
 	}
 	planned := scheds[win]
+	var cutOff []string
+	for i := range cands {
+		if cands[i].Cancelled {
+			cutOff = append(cutOff, cands[i].Name)
+		}
+	}
 
 	// Re-place the winning plan around the reservation windows still open
 	// at (or after) the batch's fire time, expressed batch-relative — plus
@@ -465,6 +500,7 @@ func (e *Engine) runBatch(index int, now float64, pending []online.Job, busyAbs 
 		Jobs:             ids,
 		Winner:           cands[win].Name,
 		Candidates:       cands,
+		CutOff:           cutOff,
 		PlannedMakespan:  planned.Makespan(),
 		RealizedMakespan: simRes.Makespan,
 		Delayed:          simRes.Delayed,

@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -16,19 +19,21 @@ import (
 
 // Algorithm is one member of the portfolio: any off-line scheduler for a
 // moldable instance. Run must be deterministic (seeded internally) for the
-// engine's replay guarantees to hold.
+// engine's replay guarantees to hold, and must honor the context so a
+// racing portfolio (or a draining service) can cancel a straggler
+// mid-schedule: on cancellation it returns an error wrapping ctx.Err().
 type Algorithm struct {
 	// Name identifies the algorithm in reports and winner counts.
 	Name string
 	// Run schedules the batch instance.
-	Run func(inst *moldable.Instance) (*schedule.Schedule, error)
+	Run func(ctx context.Context, inst *moldable.Instance) (*schedule.Schedule, error)
 }
 
 // DEMTAlgorithm wraps the paper's bi-criteria scheduler as a portfolio
 // member. A nil options pointer gives the paper's defaults.
 func DEMTAlgorithm(opts *core.Options) Algorithm {
-	return Algorithm{Name: "demt", Run: func(inst *moldable.Instance) (*schedule.Schedule, error) {
-		res, err := core.Schedule(inst, opts)
+	return Algorithm{Name: "demt", Run: func(ctx context.Context, inst *moldable.Instance) (*schedule.Schedule, error) {
+		res, err := core.ScheduleContext(ctx, inst, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -42,13 +47,13 @@ func DEMTAlgorithm(opts *core.Options) Algorithm {
 func DefaultPortfolio(opts *core.Options) []Algorithm {
 	return []Algorithm{
 		DEMTAlgorithm(opts),
-		{Name: "gang", Run: baselines.Gang},
-		{Name: "seq-lpt", Run: baselines.Sequential},
-		{Name: "list-saf", Run: func(inst *moldable.Instance) (*schedule.Schedule, error) {
-			return baselines.ListGraham(inst, baselines.SmallestAreaFirst)
+		{Name: "gang", Run: baselines.GangContext},
+		{Name: "seq-lpt", Run: baselines.SequentialContext},
+		{Name: "list-saf", Run: func(ctx context.Context, inst *moldable.Instance) (*schedule.Schedule, error) {
+			return baselines.ListGrahamContext(ctx, inst, baselines.SmallestAreaFirst)
 		}},
-		{Name: "list-wlpt", Run: func(inst *moldable.Instance) (*schedule.Schedule, error) {
-			return baselines.ListGraham(inst, baselines.WeightedLPT)
+		{Name: "list-wlpt", Run: func(ctx context.Context, inst *moldable.Instance) (*schedule.Schedule, error) {
+			return baselines.ListGrahamContext(ctx, inst, baselines.WeightedLPT)
 		}},
 	}
 }
@@ -99,7 +104,7 @@ func (o Objective) Validate() error {
 	case ObjectiveMakespan, ObjectiveWeightedCompletion:
 		return nil
 	case ObjectiveCombined:
-		if o.Alpha < 0 || o.Alpha > 1 {
+		if o.Alpha < 0 || o.Alpha > 1 || math.IsNaN(o.Alpha) {
 			return fmt.Errorf("cluster: combined objective needs Alpha in [0,1], got %g", o.Alpha)
 		}
 		return nil
@@ -107,32 +112,148 @@ func (o Objective) Validate() error {
 	return fmt.Errorf("cluster: unknown objective kind %d", int(o.Kind))
 }
 
+// Racing configures portfolio racing: instead of running every member to
+// completion, the engine cancels stragglers as soon as one candidate's
+// score is provably within Cutoff of the batch lower bound from
+// internal/lowerbound. The committed schedule is byte-identical between
+// concurrent and sequential replays: the cut is decided by the
+// deterministic launch order and per-candidate qualification alone, never
+// by goroutine timing.
+type Racing struct {
+	// Cutoff is the early-cutoff factor: a candidate whose objective value
+	// is within Cutoff times the batch lower bound wins immediately and
+	// the members launched after it are cancelled. 0 or 1 disables racing
+	// (no candidate can beat the bound itself); useful values are small
+	// factors such as 1.5 or 2.
+	Cutoff float64
+	// Bandit biases the launch order toward recent winners with a seeded,
+	// deterministic win-count selector, so the member most likely to hit
+	// the cutoff is launched (and therefore qualifies) first.
+	Bandit bool
+	// Seed seeds the bandit's exploration draws; 0 picks a fixed default
+	// so replays stay deterministic.
+	Seed int64
+}
+
+// Enabled reports whether racing is active: a cutoff factor above 1.
+func (r Racing) Enabled() bool { return r.Cutoff > 1 }
+
+// Validate checks the racing configuration.
+func (r Racing) Validate() error {
+	if math.IsNaN(r.Cutoff) || math.IsInf(r.Cutoff, 0) || r.Cutoff < 0 {
+		return fmt.Errorf("cluster: racing cutoff must be a finite non-negative factor, got %g", r.Cutoff)
+	}
+	if r.Cutoff > 0 && r.Cutoff < 1 {
+		return fmt.Errorf("cluster: racing cutoff %g lies below 1; no candidate can score under the lower bound", r.Cutoff)
+	}
+	return nil
+}
+
+const (
+	// banditDecay is the multiplicative decay applied to every member's
+	// win count when a batch commits, so the launch order tracks *recent*
+	// winners.
+	banditDecay = 0.5
+	// banditExplore is the per-batch probability of promoting a uniformly
+	// random member to the front of the launch order, so a workload shift
+	// can unseat a long-time winner.
+	banditExplore = 0.1
+)
+
+// raceState carries the bandit selector across the batches of one replay:
+// decayed per-member win counts plus the seeded exploration source. All
+// draws happen once per batch in the engine's single batch loop, so the
+// stream is identical between concurrent and sequential replays.
+type raceState struct {
+	wins   []float64
+	rng    *rand.Rand
+	bandit bool
+}
+
+// newRaceState builds the per-replay bandit state for n portfolio members.
+func newRaceState(n int, r Racing) *raceState {
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &raceState{wins: make([]float64, n), rng: rand.New(rand.NewSource(seed)), bandit: r.Bandit}
+}
+
+// launchOrder returns the member indices in launch order: portfolio order
+// when the bandit is off, otherwise decreasing recent-win score (ties keep
+// portfolio order) with an occasional seeded exploration promotion.
+func (st *raceState) launchOrder() []int {
+	order := identityOrder(len(st.wins))
+	if !st.bandit || len(order) < 2 {
+		return order
+	}
+	sort.SliceStable(order, func(a, b int) bool { return st.wins[order[a]] > st.wins[order[b]] })
+	if st.rng.Float64() < banditExplore {
+		i := st.rng.Intn(len(order))
+		promoted := order[i]
+		copy(order[1:i+1], order[:i])
+		order[0] = promoted
+	}
+	return order
+}
+
+// observeWin decays every member's score and credits the batch winner.
+func (st *raceState) observeWin(winner int) {
+	if !st.bandit {
+		return
+	}
+	for i := range st.wins {
+		st.wins[i] *= banditDecay
+	}
+	st.wins[winner]++
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
 // batchBounds holds the per-batch lower bounds used to normalize the
-// combined objective.
+// combined objective and to decide racing qualification.
 type batchBounds struct {
 	cmax   float64
 	minsum float64
 }
 
 // score evaluates a candidate schedule under the objective (lower is
-// better).
+// better). Degenerate lower bounds (zero, negative, NaN or infinite — e.g.
+// a batch of zero-weight jobs has LB(sum wC) = 0) leave the corresponding
+// criterion unnormalized instead of dividing by them, and any remaining
+// non-finite combination collapses to +Inf, so scores always order totally
+// and winner selection cannot depend on candidate order.
 func (o Objective) score(inst *moldable.Instance, s *schedule.Schedule, lb batchBounds) float64 {
 	switch o.Kind {
 	case ObjectiveWeightedCompletion:
 		return s.WeightedCompletion(inst)
 	case ObjectiveCombined:
-		cmax := s.Makespan()
-		wc := s.WeightedCompletion(inst)
-		if lb.cmax > 0 {
-			cmax /= lb.cmax
+		cmax := normalize(s.Makespan(), lb.cmax)
+		wc := normalize(s.WeightedCompletion(inst), lb.minsum)
+		sc := o.Alpha*cmax + (1-o.Alpha)*wc
+		if math.IsNaN(sc) {
+			return math.Inf(1)
 		}
-		if lb.minsum > 0 {
-			wc /= lb.minsum
-		}
-		return o.Alpha*cmax + (1-o.Alpha)*wc
+		return sc
 	default:
 		return s.Makespan()
 	}
+}
+
+// normalize divides the criterion by its lower bound when the bound is
+// usable (finite and strictly positive) and returns the raw value
+// otherwise.
+func normalize(v, lb float64) float64 {
+	if lb > 0 && !math.IsInf(lb, 1) {
+		return v / lb
+	}
+	return v
 }
 
 // Candidate reports one portfolio member's outcome on a batch.
@@ -140,51 +261,169 @@ type Candidate struct {
 	// Name is the algorithm's name.
 	Name string
 	// Score is the objective value (lower is better); NaN when the
-	// algorithm failed.
+	// algorithm failed, 0 when it was cut off.
 	Score float64
 	// Makespan and WeightedCompletion are the raw criteria of the
 	// candidate schedule.
 	Makespan           float64
 	WeightedCompletion float64
+	// Cancelled marks a member cut off by racing: it was launched after
+	// the first qualifying candidate and its result (if any) was
+	// discarded. Cancelled candidates never carry a score or an error.
+	Cancelled bool `json:",omitempty"`
 	// Err carries the algorithm's failure, if any.
 	Err error
 }
 
-// runPortfolio schedules the batch with every portfolio member — in
-// parallel goroutines unless sequential is requested — scores the valid
-// candidates under the objective and returns the candidates (in portfolio
-// order), the produced schedules, and the winner index. The winner is the
-// lowest score, ties broken by portfolio order, so the outcome is
-// bit-identical whether the members run concurrently or not. A non-nil
-// registry receives each member's wall-clock latency under its name.
-func runPortfolio(inst *moldable.Instance, algos []Algorithm, obj Objective, sequential bool, reg *obs.Registry) ([]Candidate, []*schedule.Schedule, int, error) {
+// qualifies reports whether the candidate's objective value is provably
+// within race.Cutoff of the batch lower bound. Degenerate bounds never
+// qualify: without a positive bound there is nothing to be provably close
+// to.
+func (r Racing) qualifies(obj Objective, c *Candidate, lb batchBounds) bool {
+	if c.Err != nil || math.IsNaN(c.Score) {
+		return false
+	}
+	switch obj.Kind {
+	case ObjectiveMakespan:
+		return lb.cmax > 0 && !math.IsInf(lb.cmax, 1) && c.Makespan <= r.Cutoff*lb.cmax
+	case ObjectiveWeightedCompletion:
+		return lb.minsum > 0 && !math.IsInf(lb.minsum, 1) && c.WeightedCompletion <= r.Cutoff*lb.minsum
+	case ObjectiveCombined:
+		// The normalized lower bound is exactly 1 when both bounds are
+		// usable.
+		return lb.cmax > 0 && !math.IsInf(lb.cmax, 1) && lb.minsum > 0 && !math.IsInf(lb.minsum, 1) &&
+			c.Score <= r.Cutoff
+	}
+	return false
+}
+
+// runPortfolio schedules the batch with the portfolio — in parallel
+// goroutines unless sequential is requested — scores the valid candidates
+// under the objective and returns the candidates (in portfolio order), the
+// produced schedules, and the winner index. The winner is the lowest
+// score, ties broken by portfolio order.
+//
+// With racing enabled, members launch in the deterministic launch order
+// (bandit or portfolio order) under per-member cancellable contexts. The
+// cut index is the first launch position whose candidate qualifies under
+// race.qualifies; members launched after it are cancelled and their
+// results discarded even if they finished first, while members launched
+// before it always run to completion. Sequential replays run the same
+// launch order and stop at the same cut index without running the rest, so
+// the committed candidates, schedules and winner are bit-identical whether
+// the members run concurrently or not — racing only affects wall-clock and
+// who gets cancelled.
+//
+// A non-nil registry receives each member's wall-clock latency under its
+// name, plus the racing win/cancel/cutoff counters and the race latency
+// histogram when racing is enabled.
+func runPortfolio(ctx context.Context, inst *moldable.Instance, algos []Algorithm, obj Objective, sequential bool, reg *obs.Registry, race Racing, state *raceState) ([]Candidate, []*schedule.Schedule, int, error) {
+	start := time.Now()
 	cands := make([]Candidate, len(algos))
 	scheds := make([]*schedule.Schedule, len(algos))
-	runOne := func(i int) {
-		start := time.Now()
-		s, err := algos[i].Run(inst)
+	racing := race.Enabled() && len(algos) > 0
+
+	lb := batchBounds{}
+	if obj.Kind == ObjectiveCombined || (racing && obj.Kind == ObjectiveMakespan) {
+		lb.cmax = lowerbound.Makespan(inst)
+	}
+	if obj.Kind == ObjectiveCombined || (racing && obj.Kind == ObjectiveWeightedCompletion) {
+		lb.minsum = lowerbound.MinsumSquashedArea(inst)
+	}
+
+	runOne := func(ctx context.Context, i int) {
+		memberStart := time.Now()
+		s, err := algos[i].Run(ctx, inst)
 		if reg != nil {
 			reg.Histogram("bicrit_portfolio_algorithm_seconds",
 				"Wall-clock latency of one portfolio member scheduling one batch.",
-				obs.TimeBuckets(), obs.L("algorithm", algos[i].Name)).Observe(time.Since(start).Seconds())
+				obs.TimeBuckets(), obs.L("algorithm", algos[i].Name)).Observe(time.Since(memberStart).Seconds())
 		}
 		if err == nil {
 			err = s.Validate(inst, nil)
 		}
 		if err != nil {
-			cands[i] = Candidate{Name: algos[i].Name, Err: fmt.Errorf("cluster: algorithm %s: %w", algos[i].Name, err)}
+			cands[i] = Candidate{Name: algos[i].Name, Score: math.NaN(), Err: fmt.Errorf("cluster: algorithm %s: %w", algos[i].Name, err)}
 			return
 		}
 		cands[i] = Candidate{
 			Name:               algos[i].Name,
+			Score:              obj.score(inst, s, lb),
 			Makespan:           s.Makespan(),
 			WeightedCompletion: s.WeightedCompletion(inst),
 		}
 		scheds[i] = s
 	}
-	if sequential {
+
+	cancelled := 0
+	if racing {
+		order := identityOrder(len(algos))
+		if state != nil {
+			order = state.launchOrder()
+		}
+		// bestQ is the smallest launch position whose candidate qualifies.
+		// It only ever decreases, and cancellation only targets positions
+		// strictly after it, so positions at or before the final bestQ
+		// always run to completion — the commit is timing-independent.
+		bestQ := len(algos)
+		if sequential {
+			for p, i := range order {
+				if p > bestQ {
+					cands[i] = Candidate{Name: algos[i].Name, Cancelled: true}
+					continue
+				}
+				runOne(ctx, i)
+				if race.qualifies(obj, &cands[i], lb) {
+					bestQ = p
+				}
+			}
+		} else {
+			pos := make([]int, len(algos))
+			cancels := make([]context.CancelFunc, len(algos))
+			ctxs := make([]context.Context, len(algos))
+			for p, i := range order {
+				pos[i] = p
+				ctxs[i], cancels[i] = context.WithCancel(ctx)
+			}
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			wg.Add(len(algos))
+			for _, i := range order {
+				go func(i int) {
+					defer wg.Done()
+					runOne(ctxs[i], i)
+					mu.Lock()
+					defer mu.Unlock()
+					if pos[i] < bestQ && race.qualifies(obj, &cands[i], lb) {
+						bestQ = pos[i]
+						for _, j := range order[bestQ+1:] {
+							cancels[j]()
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			for _, c := range cancels {
+				c()
+			}
+			// Discard everything launched after the cut, whether it was
+			// cancelled in flight or happened to finish first: the commit
+			// must not depend on which happened.
+			if bestQ < len(algos) {
+				for _, j := range order[bestQ+1:] {
+					cands[j] = Candidate{Name: algos[j].Name, Cancelled: true}
+					scheds[j] = nil
+				}
+			}
+		}
+		for i := range cands {
+			if cands[i].Cancelled {
+				cancelled++
+			}
+		}
+	} else if sequential {
 		for i := range algos {
-			runOne(i)
+			runOne(ctx, i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -192,24 +431,24 @@ func runPortfolio(inst *moldable.Instance, algos []Algorithm, obj Objective, seq
 		for i := range algos {
 			go func(i int) {
 				defer wg.Done()
-				runOne(i)
+				runOne(ctx, i)
 			}(i)
 		}
 		wg.Wait()
 	}
 
-	lb := batchBounds{}
-	if obj.Kind == ObjectiveCombined {
-		lb.cmax = lowerbound.Makespan(inst)
-		lb.minsum = lowerbound.MinsumSquashedArea(inst)
+	// A parent cancellation (serve drain, Ctrl-C) aborts the whole batch:
+	// surface the context error instead of an all-algorithms-failed
+	// aggregate.
+	if err := ctx.Err(); err != nil {
+		return cands, scheds, -1, fmt.Errorf("cluster: portfolio aborted: %w", err)
 	}
+
 	winner := -1
 	for i := range cands {
-		if scheds[i] == nil {
-			cands[i].Score = math.NaN()
+		if scheds[i] == nil || math.IsNaN(cands[i].Score) {
 			continue
 		}
-		cands[i].Score = obj.score(inst, scheds[i], lb)
 		if winner < 0 || cands[i].Score < cands[winner].Score {
 			winner = i
 		}
@@ -222,6 +461,28 @@ func runPortfolio(inst *moldable.Instance, algos []Algorithm, obj Objective, seq
 			}
 		}
 		return cands, scheds, -1, err
+	}
+	if state != nil {
+		state.observeWin(winner)
+	}
+	if racing && reg != nil {
+		reg.Counter("bicrit_portfolio_wins_total",
+			"Batches won per portfolio algorithm under racing.",
+			obs.L("algorithm", algos[winner].Name)).Inc()
+		for i := range cands {
+			if cands[i].Cancelled {
+				reg.Counter("bicrit_portfolio_cancelled_total",
+					"Portfolio members cut off by the racing early cutoff.",
+					obs.L("algorithm", algos[i].Name)).Inc()
+			}
+		}
+		if cancelled > 0 {
+			reg.Counter("bicrit_portfolio_cutoff_hits_total",
+				"Batches where the racing cutoff fired and cancelled at least one member.").Inc()
+		}
+		reg.Histogram("bicrit_portfolio_race_seconds",
+			"Wall-clock latency of one raced portfolio batch.",
+			obs.TimeBuckets()).Observe(time.Since(start).Seconds())
 	}
 	return cands, scheds, winner, nil
 }

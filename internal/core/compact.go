@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -13,7 +14,7 @@ import (
 // compact turns the raw batch schedule into the final schedule according to
 // the compaction mode, returning the schedule and the number of alternative
 // orders evaluated by the shuffle optimization.
-func compact(inst *moldable.Instance, res *Result, opts Options) (*schedule.Schedule, int, error) {
+func compact(ctx context.Context, inst *moldable.Instance, res *Result, opts Options) (*schedule.Schedule, int, error) {
 	switch opts.Compaction {
 	case CompactionNone:
 		return res.Raw.Clone(), 0, nil
@@ -21,10 +22,10 @@ func compact(inst *moldable.Instance, res *Result, opts Options) (*schedule.Sche
 		return earliestStartCompaction(res.Raw), 0, nil
 	case CompactionList:
 		items := batchOrderItems(inst, res.Batches, nil)
-		s, err := listsched.Graham(inst.M, items)
+		s, err := listsched.GrahamContext(ctx, inst.M, items)
 		return s, 0, err
 	case CompactionListShuffle:
-		return shuffleCompaction(inst, res, opts)
+		return shuffleCompaction(ctx, inst, res, opts)
 	default:
 		return nil, 0, fmt.Errorf("core: unknown compaction mode %d", int(opts.Compaction))
 	}
@@ -95,14 +96,14 @@ func batchOrderItems(inst *moldable.Instance, batches []Batch, batchOrder []int)
 // the list algorithm in batch order, then try a few shuffled orders and
 // keep the best resulting schedule (lowest weighted completion time, ties
 // broken by makespan).
-func shuffleCompaction(inst *moldable.Instance, res *Result, opts Options) (*schedule.Schedule, int, error) {
+func shuffleCompaction(ctx context.Context, inst *moldable.Instance, res *Result, opts Options) (*schedule.Schedule, int, error) {
 	type candidate struct {
 		sched  *schedule.Schedule
 		minsum float64
 		cmax   float64
 	}
 	evaluate := func(items []listsched.Item) (*candidate, error) {
-		s, err := listsched.Graham(inst.M, items)
+		s, err := listsched.GrahamContext(ctx, inst.M, items)
 		if err != nil {
 			return nil, err
 		}
@@ -117,6 +118,9 @@ func shuffleCompaction(inst *moldable.Instance, res *Result, opts Options) (*sch
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for s := 0; s < opts.Shuffles; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, tried, fmt.Errorf("core: compaction aborted: %w", err)
+		}
 		order := shuffledBatchOrder(rng, len(res.Batches))
 		items := batchOrderItems(inst, res.Batches, order)
 		shuffleWithinBatches(rng, items, res.Batches, order)

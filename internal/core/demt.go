@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -197,13 +198,28 @@ func New(opts *Options) *Scheduler { return &Scheduler{opts: opts.withDefaults()
 
 // Schedule runs the DEMT algorithm on the instance.
 func (s *Scheduler) Schedule(inst *moldable.Instance) (*Result, error) {
-	return run(inst, s.opts)
+	return run(context.Background(), inst, s.opts)
+}
+
+// ScheduleContext runs the DEMT algorithm on the instance, checking the
+// context at the algorithm's phase boundaries (every knapsack batch, every
+// compaction shuffle) so a racing portfolio can cancel a straggling run.
+func (s *Scheduler) ScheduleContext(ctx context.Context, inst *moldable.Instance) (*Result, error) {
+	return run(ctx, inst, s.opts)
 }
 
 // Schedule runs the DEMT algorithm with the given options (nil for the
 // paper's defaults).
 func Schedule(inst *moldable.Instance, opts *Options) (*Result, error) {
-	return run(inst, opts.withDefaults())
+	return run(context.Background(), inst, opts.withDefaults())
+}
+
+// ScheduleContext is Schedule with cancellation: the context is checked
+// at every batch of the knapsack construction loop and at every shuffle
+// of the compaction pass. A cancellation aborts the run promptly and
+// returns the context's error (errors.Is(err, ctx.Err()) holds).
+func ScheduleContext(ctx context.Context, inst *moldable.Instance, opts *Options) (*Result, error) {
+	return run(ctx, inst, opts.withDefaults())
 }
 
 // maxExtraBatches bounds the number of batches added beyond the paper's
@@ -211,7 +227,7 @@ func Schedule(inst *moldable.Instance, opts *Options) (*Result, error) {
 // extra batches suffice).
 const maxExtraBatches = 4096
 
-func run(inst *moldable.Instance, opts Options) (*Result, error) {
+func run(ctx context.Context, inst *moldable.Instance, opts Options) (*Result, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -255,6 +271,9 @@ func run(inst *moldable.Instance, opts Options) (*Result, error) {
 	}
 	raw := schedule.New(inst.M)
 	for j := 0; len(remaining) > 0; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: batch construction aborted: %w", err)
+		}
 		if j > res.K+1+maxExtraBatches {
 			return nil, fmt.Errorf("core: batch construction did not terminate after %d batches", j)
 		}
@@ -276,7 +295,7 @@ func run(inst *moldable.Instance, opts Options) (*Result, error) {
 
 	// Step 4: compaction.
 	stepStart = time.Now()
-	final, tried, err := compact(inst, res, opts)
+	final, tried, err := compact(ctx, inst, res, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -106,6 +106,11 @@ type Event struct {
 	Winner string `json:"winner,omitempty"`
 	// LowerBound is the batch's makespan lower bound of a batched event.
 	LowerBound float64 `json:"lower_bound,omitempty"`
+	// CutOff lists the portfolio algorithms cancelled by the racing early
+	// cutoff on a batched event, in portfolio order. Absent when racing is
+	// disabled or the cutoff never fired, so non-racing timelines keep
+	// their exact wire format.
+	CutOff []string `json:"cut_off,omitempty"`
 	// Allotment is the number of processors of a planned/started event.
 	Allotment int `json:"allotment,omitempty"`
 	// End is the absolute end time of a started event (its completion).
@@ -199,6 +204,7 @@ func (r *Recorder) OnBatch(clusterIdx int, br cluster.BatchReport) {
 		r.events = append(r.events, Event{
 			Kind: KindBatched, Job: id, Time: br.FireTime, Cluster: clusterIdx,
 			Batch: br.Index, Winner: br.Winner, LowerBound: br.LowerBound,
+			CutOff: br.CutOff,
 		})
 	}
 	for _, p := range br.Placements {

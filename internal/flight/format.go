@@ -48,7 +48,12 @@ func describe(ev Event) string {
 		}
 		return sb.String()
 	case KindBatched:
-		return fmt.Sprintf("batched on cluster %d batch %d — winner %s, batch lower bound %g", ev.Cluster, ev.Batch, ev.Winner, ev.LowerBound)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "batched on cluster %d batch %d — winner %s, batch lower bound %g", ev.Cluster, ev.Batch, ev.Winner, ev.LowerBound)
+		if len(ev.CutOff) > 0 {
+			fmt.Fprintf(&sb, ", cut off %s", strings.Join(ev.CutOff, ", "))
+		}
+		return sb.String()
 	case KindPlanned:
 		return fmt.Sprintf("planned at %d procs (cluster %d batch %d)", ev.Allotment, ev.Cluster, ev.Batch)
 	case KindStarted:

@@ -54,6 +54,9 @@ type ClusterSpec struct {
 	// Perturb is the shard's runtime perturbation (independent noise seeds
 	// per shard make the grid heterogeneous in time as well as in size).
 	Perturb func(taskID int, planned float64) float64
+	// Racing enables the shard's portfolio early cutoff, exactly like
+	// cluster.Config.Racing. The zero value disables racing.
+	Racing cluster.Racing
 }
 
 // DefaultQueueDepth is the per-shard dispatch queue capacity used when
@@ -169,6 +172,7 @@ func New(cfg Config) (*Federation, error) {
 			Policy:       spec.Policy,
 			Reservations: spec.Reservations,
 			Perturb:      spec.Perturb,
+			Racing:       spec.Racing,
 			Sequential:   cfg.Sequential,
 			Outages:      cfg.Faults.ClusterWindows(i, spec.M),
 			Replan:       cfg.Replan,

@@ -18,6 +18,7 @@
 package listsched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -60,6 +61,14 @@ func validateItems(m int, items []Item) error {
 // Graham runs the event-driven list algorithm on m processors and returns a
 // schedule with explicit processor assignments.
 func Graham(m int, items []Item) (*schedule.Schedule, error) {
+	return GrahamContext(context.Background(), m, items)
+}
+
+// GrahamContext is Graham with cancellation: the context is checked at
+// every event time of the list loop, so a racing portfolio can abort a
+// straggling member mid-schedule. A cancellation returns the context's
+// error (errors.Is(err, ctx.Err()) holds).
+func GrahamContext(ctx context.Context, m int, items []Item) (*schedule.Schedule, error) {
 	if err := validateItems(m, items); err != nil {
 		return nil, err
 	}
@@ -81,6 +90,9 @@ func Graham(m int, items []Item) (*schedule.Schedule, error) {
 	}
 
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("listsched: list loop aborted: %w", err)
+		}
 		// Collect processors free at time t.
 		free := free(freeAt, t)
 		// Start as many tasks as possible, scanning the list in priority

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -38,6 +39,7 @@ func Suite() []Benchmark {
 	}
 	suite = append(suite,
 		Benchmark{Name: "BatchPlan", F: benchBatchPlan},
+		Benchmark{Name: "PortfolioRace", F: benchPortfolioRace},
 		Benchmark{Name: "ClusterReplay", F: benchClusterReplay},
 		Benchmark{Name: "GridReplay/clusters=1", F: func(b *testing.B) { benchGridReplay(b, 1) }},
 		Benchmark{Name: "GridReplay/clusters=4", F: func(b *testing.B) { benchGridReplay(b, 4) }},
@@ -102,10 +104,11 @@ func benchDEMTPhase(b *testing.B, phase string) {
 // bicrit_portfolio_algorithm_seconds histogram watches live.
 func benchPortfolioAlgorithm(b *testing.B, algo cluster.Algorithm) {
 	inst := batchInstance(b)
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := algo.Run(inst); err != nil {
+		if _, err := algo.Run(ctx, inst); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -134,6 +137,43 @@ func benchBatchPlan(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchPortfolioRace is benchBatchPlan with racing enabled, measured at
+// the bandit's steady state: the replay schedules the standard batch six
+// times over (releases spaced so batch-on-idle fires once per copy), the
+// first batch teaches the bandit who wins, and from the second on the
+// winner launches first and the slower members are cancelled mid-flight
+// as soon as it lands within the cutoff of the batch lower bound. The
+// reported ns/op is per batch — directly comparable to BatchPlan, which
+// plans the identical instance without racing. allocs/op and B/op cover
+// the whole replay.
+func benchPortfolioRace(b *testing.B) {
+	inst := batchInstance(b)
+	const batches = 6
+	jobs := make([]online.Job, 0, batches*len(inst.Tasks))
+	for k := 0; k < batches; k++ {
+		for _, t := range inst.Tasks {
+			t.ID = len(jobs)
+			jobs = append(jobs, online.Job{Task: t, Release: float64(k) * 1e6})
+		}
+	}
+	eng, err := cluster.New(cluster.Config{
+		M:         64,
+		Objective: cluster.Objective{Kind: cluster.ObjectiveCombined, Alpha: 0.5},
+		Racing:    cluster.Racing{Cutoff: 2.5, Bandit: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batches), "ns/op")
 }
 
 // benchClusterReplay is the historical ClusterReplay configuration (PR 6

@@ -280,6 +280,21 @@ func (s Scenario) faultSeed() int64 {
 	return s.Seed ^ FaultSeedSalt
 }
 
+// racing resolves the racing section into the engine's configuration: the
+// zero value (racing disabled) without a section, otherwise the cutoff
+// plus the bandit seed, explicit when set and derived from the master seed
+// with RaceSeedSalt otherwise.
+func (s Scenario) racing() cluster.Racing {
+	if s.Racing == nil {
+		return cluster.Racing{}
+	}
+	seed := s.Racing.Seed
+	if seed == 0 {
+		seed = s.Seed ^ RaceSeedSalt
+	}
+	return cluster.Racing{Cutoff: s.Racing.Cutoff, Bandit: s.Racing.Bandit, Seed: seed}
+}
+
 // batchPolicy builds the batching policy of a machine of m processors.
 func (s Scenario) batchPolicy(m int) (cluster.BatchPolicy, error) {
 	interval, workFactor, maxDelay := s.Batch.Interval, s.Batch.WorkFactor, s.Batch.MaxDelay
@@ -506,6 +521,7 @@ func clusterConfig(s Scenario, plan *faults.Plan, reg *obs.Registry) (cluster.Co
 		Policy:       policy,
 		Reservations: s.Clusters[0].reservations(),
 		Perturb:      perturb,
+		Racing:       s.racing(),
 		Sequential:   s.Sequential,
 		Metrics:      reg,
 	}
@@ -548,6 +564,7 @@ func gridConfig(s Scenario, plan *faults.Plan, reg *obs.Registry) (grid.Config, 
 			Policy:       policy,
 			Reservations: c.reservations(),
 			Perturb:      perturb,
+			Racing:       s.racing(),
 		}
 	}
 	cfg := grid.Config{

@@ -41,6 +41,12 @@ const Version = 1
 // explicitly to stay behaviour-preserving.)
 const FaultSeedSalt int64 = 0x5851F42D4C957F2D
 
+// RaceSeedSalt derives the racing-bandit sub-seed the same way: when
+// Racing.Seed is zero, the bandit's exploration draws are keyed by
+// Seed ^ RaceSeedSalt, decorrelating launch-order exploration from the
+// task, arrival and fault streams.
+const RaceSeedSalt int64 = 0x6C62272E07BB0142
+
 // Topology selects the engine a scenario compiles to.
 type Topology string
 
@@ -294,6 +300,37 @@ func (s *SLOSpec) validate() error {
 	return nil
 }
 
+// RacingSpec configures portfolio racing: the engine cancels portfolio
+// stragglers as soon as one candidate's score is provably within Cutoff of
+// the batch lower bound. Racing only affects wall-clock and which members
+// get cut off — the committed schedules are byte-identical between
+// concurrent and sequential replays, and identical to a non-racing run
+// when the cutoff is 1 (disabled). A nil section disables racing.
+type RacingSpec struct {
+	// Cutoff is the early-cutoff factor relative to the batch lower
+	// bound; 0 or 1 disables racing, values in (0, 1) are rejected.
+	Cutoff float64 `json:"cutoff"`
+	// Bandit biases the launch order toward recent winners with a seeded
+	// deterministic selector.
+	Bandit bool `json:"bandit,omitempty"`
+	// Seed keys the bandit's exploration draws; zero derives
+	// Scenario.Seed ^ RaceSeedSalt.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (r *RacingSpec) validate() error {
+	if r == nil {
+		return nil
+	}
+	if math.IsNaN(r.Cutoff) || math.IsInf(r.Cutoff, 0) || r.Cutoff < 0 {
+		return validate.Errorf("racing.cutoff", "cutoff must be a finite non-negative factor, got %g", r.Cutoff)
+	}
+	if r.Cutoff > 0 && r.Cutoff < 1 {
+		return validate.Errorf("racing.cutoff", "cutoff %g lies below 1; no candidate can score under the lower bound", r.Cutoff)
+	}
+	return nil
+}
+
 // Scenario is the complete declarative spec of one experiment: the single
 // input every layer of the stack — offline cluster replay, grid
 // federation, live service — compiles from.
@@ -326,6 +363,9 @@ type Scenario struct {
 	Noise float64 `json:"noise,omitempty"`
 	// Sequential disables all goroutines (the determinism switch).
 	Sequential bool `json:"sequential,omitempty"`
+	// Racing, when present, enables the portfolio early cutoff on every
+	// cluster.
+	Racing *RacingSpec `json:"racing,omitempty"`
 	// Faults and Service are optional sections.
 	Faults  *Faults  `json:"faults,omitempty"`
 	Service *Service `json:"service,omitempty"`
@@ -455,6 +495,9 @@ func WithNoise(frac float64) Option { return func(s *Scenario) { s.Noise = frac 
 // WithSequential disables all goroutines.
 func WithSequential(sequential bool) Option { return func(s *Scenario) { s.Sequential = sequential } }
 
+// WithRacing attaches a portfolio-racing section.
+func WithRacing(r RacingSpec) Option { return func(s *Scenario) { s.Racing = &r } }
+
 // WithFaults attaches a fault-injection section.
 func WithFaults(f Faults) Option { return func(s *Scenario) { s.Faults = &f } }
 
@@ -552,6 +595,9 @@ func (s Scenario) Validate() error {
 		return err
 	}
 	if err := s.validatePolicies(); err != nil {
+		return err
+	}
+	if err := s.Racing.validate(); err != nil {
 		return err
 	}
 	if err := s.Faults.validate(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -260,6 +261,11 @@ func TestHTTPRateLimitReturns429(t *testing.T) {
 	}
 	if hdr.Get("Retry-After") == "" || resp.RetryAfterSeconds <= 0 {
 		t.Fatalf("429 came without a Retry-After hint: header %q, body %+v", hdr.Get("Retry-After"), resp)
+	}
+	// The header is clamped to >= 1: a sub-second computed backoff must
+	// never surface as "Retry-After: 0".
+	if retry, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || retry < 1 {
+		t.Fatalf("Retry-After header %q is not an integer >= 1 (err %v)", hdr.Get("Retry-After"), err)
 	}
 	if resp.Error == "" {
 		t.Fatal("429 came without an error message")

@@ -269,7 +269,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				status = http.StatusTooManyRequests
 				secs := rej.RetryAfter.Seconds()
 				resp.RetryAfterSeconds = secs
-				w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(secs))))
+				// RFC 9110 allows Retry-After: 0, but a zero backoff (a
+				// sub-second computed delay rounds down through Seconds())
+				// invites clients to hammer the limiter; clamp to >= 1.
+				retry := int(math.Ceil(secs))
+				if retry < 1 {
+					retry = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(retry))
 			}
 		case errors.As(err, &dup):
 			status = http.StatusConflict
