@@ -578,7 +578,9 @@ type ExperimentAlgorithm = experiment.Algorithm
 
 // RunExperiment executes an experiment (see internal/experiment for the
 // aggregation rules, which follow section 4.2 of the paper).
-func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return experiment.Run(cfg) }
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { //lint:allow ctxflow offline experiment harness; not a replay entry point, runs to completion by design
+	return experiment.Run(cfg)
+}
 
 // FormatExperiment renders an experiment result as text tables.
 func FormatExperiment(res *ExperimentResult) string { return experiment.FormatTable(res) }
@@ -671,8 +673,8 @@ const (
 func NewClusterEngine(cfg ClusterConfig) (*ClusterEngine, error) { return cluster.New(cfg) }
 
 // RunCluster builds an engine and replays the job stream through it.
-func RunCluster(cfg ClusterConfig, jobs []OnlineJob) (*ClusterReport, error) {
-	return RunClusterContext(context.Background(), cfg, jobs)
+func RunCluster(cfg ClusterConfig, jobs []OnlineJob) (*ClusterReport, error) { //lint:allow ctxflow legacy context-free wrapper; the *Context variant is the cancellable entry point
+	return RunClusterContext(context.Background(), cfg, jobs) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
 }
 
 // RunClusterContext is RunCluster with cancellation: the context is
@@ -826,8 +828,8 @@ type GridRoutingPolicy = grid.RoutingPolicy
 func NewGrid(cfg GridConfig) (*GridFederation, error) { return grid.New(cfg) }
 
 // RunGrid builds a federation and replays the job stream through it.
-func RunGrid(cfg GridConfig, jobs []OnlineJob) (*GridReport, error) {
-	return RunGridContext(context.Background(), cfg, jobs)
+func RunGrid(cfg GridConfig, jobs []OnlineJob) (*GridReport, error) { //lint:allow ctxflow legacy context-free wrapper; the *Context variant is the cancellable entry point
+	return RunGridContext(context.Background(), cfg, jobs) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
 }
 
 // RunGridContext is RunGrid with cancellation: the context threads into

@@ -141,6 +141,19 @@
 // (estimated from the cumulative buckets) as a dependency-free
 // terminal dashboard.
 //
+// The replay invariants are enforced statically, not just tested:
+// tools/lint (a separate module, so the root module's dependency graph
+// stays empty) ships bicrit-lint, a multichecker with five repo-specific
+// analyzers — nowallclock (deterministic packages never read the wall
+// clock), seededrand (no draws from math/rand's process-wide source),
+// maprange (no map-iteration order leaking into observable state),
+// ctxflow (exported Run*/Replay* entry points accept a context.Context
+// and no root context is minted mid-stack) and wirefields (every
+// exported field of a wire struct carries an explicit json tag). A
+// finding fails CI; the only sanctioned suppression is a reasoned
+// //lint:allow <analyzer> <reason> directive on the offending line. See
+// the README's "Static guarantees" section.
+//
 // The root package is a thin facade over the internal packages: it exposes
 // the task and schedule model, the DEMT scheduler, the baselines, the lower
 // bounds, the workload generators, the simulator and the scenario system

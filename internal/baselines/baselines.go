@@ -28,7 +28,7 @@ import (
 // allocation), one task after the other, sorted by decreasing ratio of
 // weight over execution time (Smith's rule on the gang execution times).
 func Gang(inst *moldable.Instance) (*schedule.Schedule, error) {
-	return GangContext(context.Background(), inst)
+	return GangContext(context.Background(), inst) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
 }
 
 // GangContext is Gang with cancellation: the context is checked at every
@@ -77,7 +77,7 @@ func GangContext(ctx context.Context, inst *moldable.Instance) (*schedule.Schedu
 // Sequential schedules every task on a single processor with the classical
 // largest-processing-time-first list algorithm.
 func Sequential(inst *moldable.Instance) (*schedule.Schedule, error) {
-	return SequentialContext(context.Background(), inst)
+	return SequentialContext(context.Background(), inst) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
 }
 
 // SequentialContext is Sequential with cancellation, checked inside the
@@ -128,7 +128,7 @@ func (o ListOrder) String() string {
 // ListGraham computes the dual-approximation allotment and runs the Graham
 // list algorithm with the requested order.
 func ListGraham(inst *moldable.Instance, order ListOrder) (*schedule.Schedule, error) {
-	return ListGrahamContext(context.Background(), inst, order)
+	return ListGrahamContext(context.Background(), inst, order) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
 }
 
 // ListGrahamContext is ListGraham with cancellation, checked inside the
@@ -148,7 +148,7 @@ func ListGrahamContext(ctx context.Context, inst *moldable.Instance, order ListO
 // dual-approximation result (so the three variants can share one allotment
 // computation, as the experiment harness does).
 func ListGrahamWithAllotment(inst *moldable.Instance, res *dualapprox.Result, order ListOrder) (*schedule.Schedule, error) {
-	return ListGrahamWithAllotmentContext(context.Background(), inst, res, order)
+	return ListGrahamWithAllotmentContext(context.Background(), inst, res, order) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
 }
 
 // ListGrahamWithAllotmentContext is ListGrahamWithAllotment with

@@ -98,16 +98,16 @@ type Config struct {
 // BatchReport describes one committed batch.
 type BatchReport struct {
 	// Index is the batch number (0-based).
-	Index int
+	Index int `json:"Index"`
 	// FireTime is the absolute time the batch fired.
-	FireTime float64
+	FireTime float64 `json:"FireTime"`
 	// Jobs lists the task IDs of the batch, sorted.
-	Jobs []int
+	Jobs []int `json:"Jobs"`
 	// Winner is the name of the committed algorithm.
-	Winner string
+	Winner string `json:"Winner"`
 	// Candidates reports every portfolio member's score, in portfolio
 	// order.
-	Candidates []Candidate
+	Candidates []Candidate `json:"Candidates"`
 	// CutOff lists the algorithms cancelled by the racing early cutoff on
 	// this batch, in portfolio order. Empty (and absent from serialized
 	// reports) when racing is disabled or the cutoff never fired, so
@@ -115,15 +115,15 @@ type BatchReport struct {
 	CutOff []string `json:",omitempty"`
 	// PlannedMakespan is the batch-relative makespan of the committed plan
 	// (after placement around reservations).
-	PlannedMakespan float64
+	PlannedMakespan float64 `json:"PlannedMakespan"`
 	// RealizedMakespan is the batch-relative makespan after simulated
 	// execution with perturbed runtimes.
-	RealizedMakespan float64
+	RealizedMakespan float64 `json:"RealizedMakespan"`
 	// Delayed counts tasks of this batch that started later than planned.
-	Delayed int
+	Delayed int `json:"Delayed"`
 	// Killed lists the task IDs killed by outages during this batch's
 	// realized execution, sorted. They rejoin the queue (or are lost).
-	Killed []int
+	Killed []int `json:"Killed"`
 	// KillEvents carries the full kill records of this batch (absolute
 	// start and kill times), for streaming observers; Killed remains the
 	// wire-format digest, so serialized reports are unchanged.
@@ -138,7 +138,7 @@ type BatchReport struct {
 	// report's Schedule remains the wire-format source.
 	Placements []Placement `json:"-"`
 	// Cumulative is the metrics snapshot after this batch.
-	Cumulative Metrics
+	Cumulative Metrics `json:"Cumulative"`
 }
 
 // Placement is one task's realized execution within a batch: absolute
@@ -245,8 +245,8 @@ type jobInfo struct {
 }
 
 // Run replays the job stream through the engine.
-func (e *Engine) Run(jobs []online.Job) (*Report, error) {
-	return e.RunContext(context.Background(), jobs)
+func (e *Engine) Run(jobs []online.Job) (*Report, error) { //lint:allow ctxflow legacy context-free wrapper; the *Context variant is the cancellable entry point
+	return e.RunContext(context.Background(), jobs) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
 }
 
 // RunContext replays the job stream through the engine, checking the
@@ -379,7 +379,7 @@ func (e *Engine) runBatch(ctx context.Context, index int, now float64, pending [
 	sort.Ints(ids)
 	inst := moldable.NewInstance(e.cfg.M, tasks)
 
-	planStart := time.Now()
+	planStart := time.Now() //lint:allow nowallclock wall-clock feeds the obs metrics only, never a scheduling decision
 	cands, scheds, win, err := runPortfolio(ctx, inst, e.cfg.Portfolio, e.cfg.Objective, e.cfg.Sequential, e.cfg.Metrics, e.cfg.Racing, race)
 	if err != nil {
 		return BatchReport{}, 0, nil, fmt.Errorf("cluster: batch %d: %w", index, err)
@@ -415,7 +415,7 @@ func (e *Engine) runBatch(ctx context.Context, index int, now float64, pending [
 	if e.cfg.Metrics != nil {
 		e.cfg.Metrics.Histogram("bicrit_batch_schedule_seconds",
 			"Wall-clock time planning one batch: portfolio run, scoring and reservation placement.",
-			obs.TimeBuckets()).Observe(time.Since(planStart).Seconds())
+			obs.TimeBuckets()).Observe(time.Since(planStart).Seconds()) //lint:allow nowallclock wall-clock feeds the obs metrics only, never a scheduling decision
 	}
 
 	simRes, err := sim.Execute(inst, planned, &sim.Options{

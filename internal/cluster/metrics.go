@@ -31,39 +31,39 @@ func BoundedSlowdown(flow, pmin float64) float64 {
 // report, so a long replay can be monitored as it streams.
 type Metrics struct {
 	// Batches is the number of batches committed so far.
-	Batches int
+	Batches int `json:"Batches"`
 	// Jobs is the number of jobs completed so far.
-	Jobs int
+	Jobs int `json:"Jobs"`
 	// Makespan is the realized completion time of the last job (absolute).
-	Makespan float64
+	Makespan float64 `json:"Makespan"`
 	// WeightedCompletion is the realized sum(w_i * C_i) with absolute
 	// completion times.
-	WeightedCompletion float64
+	WeightedCompletion float64 `json:"WeightedCompletion"`
 	// MaxFlow is the maximum realized flow time (completion minus
 	// submission) over jobs.
-	MaxFlow float64
+	MaxFlow float64 `json:"MaxFlow"`
 	// MeanStretch is the mean over jobs of the realized flow time divided
 	// by the job's fastest possible execution time.
-	MeanStretch float64
+	MeanStretch float64 `json:"MeanStretch"`
 	// StretchP50, StretchP95 and StretchP99 are nearest-rank percentiles of
 	// the per-job stretch distribution: the tail the mean hides.
-	StretchP50 float64
-	StretchP95 float64
-	StretchP99 float64
+	StretchP50 float64 `json:"StretchP50"`
+	StretchP95 float64 `json:"StretchP95"`
+	StretchP99 float64 `json:"StretchP99"`
 	// MeanBoundedSlowdown is the mean over jobs of
 	// max(1, flow / max(pmin, BoundedSlowdownThreshold)).
-	MeanBoundedSlowdown float64
+	MeanBoundedSlowdown float64 `json:"MeanBoundedSlowdown"`
 	// BoundedSlowdownP50, P95 and P99 are the matching percentiles.
-	BoundedSlowdownP50 float64
-	BoundedSlowdownP95 float64
-	BoundedSlowdownP99 float64
+	BoundedSlowdownP50 float64 `json:"BoundedSlowdownP50"`
+	BoundedSlowdownP95 float64 `json:"BoundedSlowdownP95"`
+	BoundedSlowdownP99 float64 `json:"BoundedSlowdownP99"`
 	// Utilization is the fraction of the processor-time rectangle
 	// [0, Makespan] x M spent executing jobs. Idle waits between batches
 	// count against it, as on a real machine.
-	Utilization float64
+	Utilization float64 `json:"Utilization"`
 	// Delayed counts the tasks that started later than their planned
 	// (batch-relative) start time during realized execution.
-	Delayed int
+	Delayed int `json:"Delayed"`
 	// Killed counts kill events (one job can die more than once),
 	// Resubmitted the re-enqueues they caused, Lost the jobs abandoned
 	// after MaxRetries kills and Recovered the jobs that completed after
@@ -74,7 +74,7 @@ type Metrics struct {
 	Lost        int `json:",omitempty"`
 	Recovered   int `json:",omitempty"`
 	// Wins counts, per portfolio algorithm, the batches it won.
-	Wins map[string]int
+	Wins map[string]int `json:"Wins"`
 }
 
 // metricsAccumulator is the running state behind Metrics.

@@ -202,8 +202,8 @@ type resettable interface{ reset() }
 // through its engine — concurrently unless Config.Sequential — then
 // aggregates the grid metrics. The report is bit-identical between the
 // sequential and the concurrent path.
-func (f *Federation) Run(jobs []online.Job) (*Report, error) {
-	return f.RunContext(context.Background(), jobs)
+func (f *Federation) Run(jobs []online.Job) (*Report, error) { //lint:allow ctxflow legacy context-free wrapper; the *Context variant is the cancellable entry point
+	return f.RunContext(context.Background(), jobs) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
 }
 
 // RunContext is Run with cancellation: the context is threaded into every
@@ -243,7 +243,7 @@ func (f *Federation) RunContext(ctx context.Context, jobs []online.Job) (*Report
 	// Routing is one pure sequential pass shared by both execution paths
 	// (it interleaves shard-outage drains with arrivals in time order);
 	// only the shard replays differ in concurrency.
-	routeStart := time.Now()
+	routeStart := time.Now() //lint:allow nowallclock wall-clock feeds the obs metrics only, never a scheduling decision
 	decisions, routed, err := rt.routeStream(sorted, f.cfg.OnDecision)
 	if err != nil {
 		return nil, err
@@ -251,7 +251,7 @@ func (f *Federation) RunContext(ctx context.Context, jobs []online.Job) (*Report
 	if f.cfg.Metrics != nil {
 		f.cfg.Metrics.Histogram("bicrit_grid_route_stream_seconds",
 			"Wall-clock time of the grid's routing pass over one full job stream.",
-			obs.TimeBuckets()).Observe(time.Since(routeStart).Seconds())
+			obs.TimeBuckets()).Observe(time.Since(routeStart).Seconds()) //lint:allow nowallclock wall-clock feeds the obs metrics only, never a scheduling decision
 	}
 	report := &Report{
 		Policy:    f.cfg.Routing.Name(),

@@ -9,26 +9,26 @@ import (
 // ClusterSummary is the grid-level digest of one shard's run.
 type ClusterSummary struct {
 	// Index is the shard's position in Config.Clusters and M its size.
-	Index int
-	M     int
+	Index int `json:"Index"`
+	M     int `json:"M"`
 	// Jobs and Batches count what the shard executed.
-	Jobs    int
-	Batches int
+	Jobs    int `json:"Jobs"`
+	Batches int `json:"Batches"`
 	// Makespan is the shard's realized completion time of its last job.
-	Makespan float64
+	Makespan float64 `json:"Makespan"`
 	// Utilization is the shard's own busy fraction over [0, Makespan] x M.
-	Utilization float64
+	Utilization float64 `json:"Utilization"`
 	// MeanStretch is the shard's mean realized stretch.
-	MeanStretch float64
+	MeanStretch float64 `json:"MeanStretch"`
 	// PeakBacklog is the deepest virtual queue the shard ever showed the
 	// router: the largest estimated per-processor backlog (in time units)
 	// observed at any routing decision. It is a router-side estimate, so it
 	// is identical between sequential and concurrent replays.
-	PeakBacklog float64
+	PeakBacklog float64 `json:"PeakBacklog"`
 	// Rejected counts the jobs that arrived while this shard was closed
 	// for admission (backlog over Config.AdmitBacklog) and were steered to
 	// another shard. Zero when admission control is disabled.
-	Rejected int
+	Rejected int `json:"Rejected"`
 	// Killed, Resubmitted, Lost and Recovered mirror the shard engine's
 	// fault counters (kill events, re-enqueues, abandoned jobs, jobs
 	// completed after a kill); Migrated counts the jobs the router drained
@@ -40,40 +40,40 @@ type ClusterSummary struct {
 	Recovered   int `json:",omitempty"`
 	Migrated    int `json:",omitempty"`
 	// Wins counts the shard's portfolio winners per algorithm.
-	Wins map[string]int
+	Wins map[string]int `json:"Wins"`
 }
 
 // Metrics is the grid-wide aggregate of a federation run.
 type Metrics struct {
 	// Clusters is the number of shards and Jobs the number of completed
 	// jobs across all of them.
-	Clusters int
-	Jobs     int
+	Clusters int `json:"Clusters"`
+	Jobs     int `json:"Jobs"`
 	// Makespan is the completion time of the last job anywhere in the grid.
-	Makespan float64
+	Makespan float64 `json:"Makespan"`
 	// WeightedCompletion is sum(w_i * C_i) over every job of the grid.
-	WeightedCompletion float64
+	WeightedCompletion float64 `json:"WeightedCompletion"`
 	// MaxFlow is the largest realized flow time over the grid.
-	MaxFlow float64
+	MaxFlow float64 `json:"MaxFlow"`
 	// MeanStretch and the percentiles describe the grid-wide distribution
 	// of per-job stretch (flow over fastest possible execution time).
-	MeanStretch float64
-	StretchP50  float64
-	StretchP95  float64
-	StretchP99  float64
+	MeanStretch float64 `json:"MeanStretch"`
+	StretchP50  float64 `json:"StretchP50"`
+	StretchP95  float64 `json:"StretchP95"`
+	StretchP99  float64 `json:"StretchP99"`
 	// MeanBoundedSlowdown and the percentiles describe the grid-wide
 	// bounded-slowdown distribution (see cluster.BoundedSlowdown).
-	MeanBoundedSlowdown float64
-	BoundedSlowdownP50  float64
-	BoundedSlowdownP95  float64
-	BoundedSlowdownP99  float64
+	MeanBoundedSlowdown float64 `json:"MeanBoundedSlowdown"`
+	BoundedSlowdownP50  float64 `json:"BoundedSlowdownP50"`
+	BoundedSlowdownP95  float64 `json:"BoundedSlowdownP95"`
+	BoundedSlowdownP99  float64 `json:"BoundedSlowdownP99"`
 	// Utilization is the busy fraction of the whole grid rectangle
 	// [0, Makespan] x (sum of all processors): idle shards count against
 	// it, as they would on a real federation.
-	Utilization float64
+	Utilization float64 `json:"Utilization"`
 	// Rejections is the total number of admission-control closures over
 	// the run: the sum of the per-shard Rejected counts.
-	Rejections int
+	Rejections int `json:"Rejections"`
 	// Killed, Resubmitted, Lost and Recovered aggregate the shard
 	// engines' fault counters across the grid; Migrated counts the jobs
 	// drained off dead shards and re-routed by the meta-scheduler. All
@@ -84,7 +84,7 @@ type Metrics struct {
 	Recovered   int `json:",omitempty"`
 	Migrated    int `json:",omitempty"`
 	// PerCluster digests every shard, indexed like Config.Clusters.
-	PerCluster []ClusterSummary
+	PerCluster []ClusterSummary `json:"PerCluster"`
 }
 
 // aggregate folds the per-shard reports into the grid metrics. Samples are

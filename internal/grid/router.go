@@ -20,14 +20,14 @@ const prefKnee = 1.5
 // Decision records one routing decision of the meta-scheduler.
 type Decision struct {
 	// JobID is the routed job's task ID and Release its submission time.
-	JobID   int
-	Release float64
+	JobID   int     `json:"JobID"`
+	Release float64 `json:"Release"`
 	// Cluster is the index of the chosen cluster in Config.Clusters.
-	Cluster int
+	Cluster int `json:"Cluster"`
 	// Backlog is the chosen cluster's estimated per-processor backlog just
 	// before admission (the router's virtual-clock estimate, not a realized
 	// quantity).
-	Backlog float64
+	Backlog float64 `json:"Backlog"`
 	// Migrated marks a resubmission decision: the job had been routed to a
 	// shard that then went dark, and the router drained it back through
 	// the policy at the outage instant (Release is that instant). Always

@@ -278,7 +278,15 @@ func ParseText(r io.Reader) ([]Family, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	for key, hs := range hists {
+	// Validate in sorted key order so the reported error is the same
+	// whichever way the map iterates.
+	keys := make([]string, 0, len(hists))
+	for key := range hists {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		hs := hists[key]
 		if !hs.sawInf {
 			return nil, fmt.Errorf("obs: histogram series %s has no +Inf bucket", key)
 		}

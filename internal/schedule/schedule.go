@@ -283,7 +283,15 @@ func (s *Schedule) checkProcessorOverlaps() error {
 			perProc[p] = append(perProc[p], span{a.Start, a.End(), a.TaskID})
 		}
 	}
-	for p, spans := range perProc {
+	// Check processors in ascending order so a schedule with several
+	// overlaps always reports the same one.
+	procs := make([]int, 0, len(perProc))
+	for p := range perProc {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		spans := perProc[p]
 		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
 		for i := 1; i < len(spans); i++ {
 			if spans[i].start < spans[i-1].end-1e-6 {

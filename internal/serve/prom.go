@@ -42,6 +42,10 @@ func (s *Server) syncProm() {
 	rej("queue-full", c.RejectedQueue)
 
 	for state, n := range s.reg.stateCounts() {
+		// Each state writes its own gauge and Set calls commute; the obs
+		// registry renders families and series sorted, so scrape bytes do
+		// not depend on this loop's order.
+		//lint:allow maprange one gauge per state; Set commutes and the registry sorts output
 		r.Gauge("bicrit_serve_jobs", "Admitted jobs by lifecycle state.",
 			obs.L("state", state)).Set(float64(n))
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 
 	"bicriteria/internal/cluster"
@@ -251,15 +252,22 @@ func (r *registry) markDone(id int, start, end float64) {
 	r.upgrade(j, StateDone)
 }
 
-// eachDone calls fn for every completed job (order unspecified): the
-// feed of the /metrics distribution histograms.
+// eachDone calls fn for every completed job in ascending job-id order:
+// the feed of the /metrics distribution histograms. The fixed order keeps
+// even the low bits of the histograms' floating-point sums identical
+// between scrapes of equal state.
 func (r *registry) eachDone(fn func(JobStatus)) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for _, j := range r.jobs {
+	ids := make([]int, 0, len(r.jobs))
+	for id, j := range r.jobs {
 		if j.State == StateDone {
-			fn(*j)
+			ids = append(ids, id)
 		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fn(*r.jobs[id])
 	}
 }
 
@@ -275,6 +283,7 @@ func (r *registry) sloOutcomes() []slo.JobOutcome {
 		if j.State != StateDone {
 			continue
 		}
+		//lint:allow maprange slo.Evaluate sorts outcomes internally; order-independence is pinned by its tests
 		out = append(out, slo.JobOutcome{
 			Job: id, Cluster: j.Cluster, Release: j.Release, Pmin: r.pmin[id],
 			Start: j.Start, End: j.End, Done: true,

@@ -636,6 +636,7 @@ func (s *Server) apply(rep *grid.Report, vnow float64, final bool) {
 				}
 			}
 			for id, n := range counts {
+				//lint:allow maprange each job id writes only its own registry entry; the updates commute
 				s.reg.markResubmitted(id, n)
 			}
 		}

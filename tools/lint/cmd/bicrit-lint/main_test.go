@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// inBadmod points the process at the one-violation fixture module for
+// the duration of the test.
+func inBadmod(t *testing.T) {
+	t.Helper()
+	t.Chdir("testdata/badmod")
+}
+
+func TestRunFindsViolation(t *testing.T) {
+	inBadmod(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "seededrand") || !strings.Contains(out.String(), "rand.Intn") {
+		t.Errorf("stdout does not name the seededrand finding:\n%s", out.String())
+	}
+}
+
+func TestRunFilterClean(t *testing.T) {
+	inBadmod(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "wirefields", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings from wirefields alone, got:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-list"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxflow", "maprange", "nowallclock", "seededrand", "wirefields"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "["}, &out, &errb); code != 2 {
+		t.Errorf("bad -run regexp: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-run", "nosuchanalyzer", "./..."}, &out, &errb); code != 2 {
+		t.Errorf("-run matching nothing: exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,10 @@
+// Package badmod is a tiny module with exactly one determinism
+// violation, used to test the bicrit-lint exit codes end to end.
+package badmod
+
+import "math/rand"
+
+// Jitter draws from the process-wide source: a seededrand finding.
+func Jitter() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,3 @@
+module bicriteria/tools/lint
+
+go 1.24

@@ -1,0 +1,92 @@
+// Package ctxflow locks in the cancellation plumbing threaded through the
+// deterministic stack.
+//
+// Two rules. First, an exported Run*/Replay* entry point of a
+// deterministic package must accept a context.Context — replays are
+// long-running and must stay abortable end to end. Second,
+// context.Background() and context.TODO() are forbidden outside package
+// main: minting a fresh root context mid-stack silently detaches the
+// work below it from the caller's cancellation, which is exactly how a
+// drain deadline stops reaching a replay. Legacy context-free wrappers
+// that intentionally supply the root context carry a reasoned
+// //lint:allow ctxflow annotation, so every detachment point in the tree
+// is documented.
+package ctxflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"bicriteria/tools/lint/internal/framework"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "exported Run*/Replay* entry points in deterministic packages must accept " +
+		"context.Context, and context.Background()/TODO() is forbidden outside package main",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	isMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !isMain && isEntryPoint(fd) && !hasContextParam(pass, fd) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported entry point %s does not accept a context.Context; replays must stay cancellable end to end",
+					fd.Name.Name)
+			}
+		}
+		if isMain {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Background", "TODO"} {
+				if pass.PkgFunc(call, "context", name) {
+					pass.Reportf(call.Pos(),
+						"context.%s() mints a root context mid-stack, detaching the work below from the caller's cancellation; accept and propagate a ctx parameter instead",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isEntryPoint reports whether fd is an exported Run*/Replay* function or
+// method.
+func isEntryPoint(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if !ast.IsExported(name) {
+		return false
+	}
+	return strings.HasPrefix(name, "Run") || strings.HasPrefix(name, "Replay")
+}
+
+// hasContextParam reports whether any parameter of fd has type
+// context.Context.
+func hasContextParam(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if t.String() == "context.Context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"bicriteria/tools/lint/internal/analyzers/ctxflow"
+	"bicriteria/tools/lint/internal/framework/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "a", "mainpkg", "suppressed")
+}

@@ -1,0 +1,39 @@
+// Package a exercises the ctxflow analyzer: exported Run*/Replay* entry
+// points must accept a context.Context, and fresh root contexts are
+// forbidden outside package main.
+package a
+
+import "context"
+
+type Engine struct{}
+
+func (e *Engine) Run() error { // want "exported entry point Run does not accept a context.Context"
+	return nil
+}
+
+func (e *Engine) RunContext(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func ReplayAll() { // want "exported entry point ReplayAll does not accept a context.Context"
+}
+
+func ReplayFrom(ctx context.Context, seq uint64) error {
+	_ = ctx
+	_ = seq
+	return nil
+}
+
+func detachTODO() context.Context {
+	return context.TODO() // want "mints a root context mid-stack"
+}
+
+func detachBackground() context.Context {
+	ctx := context.Background() // want "mints a root context mid-stack"
+	return ctx
+}
+
+func run() {} // unexported: not an entry point
+
+func Execute() {} // exported but neither Run* nor Replay*: out of scope

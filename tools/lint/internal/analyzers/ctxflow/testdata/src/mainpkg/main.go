@@ -1,0 +1,14 @@
+// Package main is exempt from both ctxflow rules: the binary entry point
+// is exactly where the root context is legitimately minted.
+package main
+
+import "context"
+
+func Run() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+func main() {
+	Run()
+}

@@ -1,0 +1,12 @@
+// Package suppressed proves the escape hatch for ctxflow.
+package suppressed
+
+import "context"
+
+func Run() { //lint:allow ctxflow legacy context-free wrapper; RunContext is the cancellable entry point
+	RunContext(context.Background()) //lint:allow ctxflow legacy wrapper supplies the root context for callers without one
+}
+
+func RunContext(ctx context.Context) {
+	_ = ctx
+}

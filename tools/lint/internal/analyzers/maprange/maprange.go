@@ -1,0 +1,394 @@
+// Package maprange flags map iterations whose body leaks the map's
+// nondeterministic order into observable state.
+//
+// Go randomizes map iteration order per run, so a `for k, v := range m`
+// that appends to an outer slice, emits an event, writes output or sends
+// on a channel produces a different ordering every execution — exactly
+// the bug class the flight recorder's frozen total order exists to
+// prevent. Order-independent bodies stay legal: writes into another map,
+// delete, integer accumulation, and the collect-then-sort idiom (append
+// the keys, then sort.Strings/slices.Sort before use). Everything else is
+// a diagnostic, answerable either by sorting or by a reasoned
+// //lint:allow maprange annotation.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bicriteria/tools/lint/internal/framework"
+)
+
+// Analyzer is the maprange pass.
+var Analyzer = &framework.Analyzer{
+	Name: "maprange",
+	Doc: "flag range-over-map bodies that append, emit, send or write outer state " +
+		"in iteration order without a deterministic sort afterwards",
+	Run: run,
+}
+
+// commutativeAssign lists the compound tokens whose repeated application
+// is order-independent on integers.
+var commutativeAssign = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.AND_ASSIGN: true,
+	token.OR_ASSIGN:  true,
+	token.XOR_ASSIGN: true,
+}
+
+// sortFuncs enumerates the calls accepted as "a deterministic sort": the
+// classic sort package entry points and their slices counterparts.
+var sortFuncs = map[string][]string{
+	"sort":   {"Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable"},
+	"slices": {"Sort", "SortFunc", "SortStableFunc"},
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass}
+			c.stmts(fd.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+}
+
+// stmts walks one statement list; trailing is the stack of statement
+// suffixes that execute after the current block at every ancestor level,
+// innermost first — the places a collect-then-sort loop may put its sort.
+func (c *checker) stmts(list []ast.Stmt, trailing [][]ast.Stmt) {
+	for i, s := range list {
+		after := append([][]ast.Stmt{list[i+1:]}, trailing...)
+		switch s := s.(type) {
+		case *ast.RangeStmt:
+			if c.isMap(s.X) {
+				c.checkMapRange(s, after)
+			}
+			// Nested loops inside the body get their own walk.
+			c.stmts(s.Body.List, after)
+		case *ast.BlockStmt:
+			c.stmts(s.List, after)
+		case *ast.IfStmt:
+			c.stmts(s.Body.List, after)
+			if s.Else != nil {
+				c.stmts([]ast.Stmt{s.Else}, after)
+			}
+		case *ast.ForStmt:
+			c.stmts(s.Body.List, after)
+		case *ast.SwitchStmt:
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					c.stmts(cl.Body, after)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					c.stmts(cl.Body, after)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CommClause); ok {
+					c.stmts(cl.Body, after)
+				}
+			}
+		case *ast.LabeledStmt:
+			c.stmts([]ast.Stmt{s.Stmt}, after)
+		}
+	}
+}
+
+func (c *checker) isMap(x ast.Expr) bool {
+	t := c.pass.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	// Ranging over a map pointer is illegal Go; only the direct map type
+	// matters.
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange classifies every statement of the loop body.
+func (c *checker) checkMapRange(loop *ast.RangeStmt, after [][]ast.Stmt) {
+	// local tracks objects declared inside the loop (including the range
+	// variables): writes to them cannot leak iteration order out.
+	local := map[types.Object]bool{}
+	for _, v := range []ast.Expr{loop.Key, loop.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+							local[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			return false // deferred bodies run outside iteration order
+		}
+		return true
+	})
+
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			c.checkAssign(s, local, after)
+		case *ast.IncDecStmt:
+			c.checkTarget(s.X, local, s.Pos(), "increments")
+		case *ast.ExprStmt:
+			c.checkBareCall(s, local)
+		case *ast.DeferStmt:
+			c.pass.Reportf(s.Pos(), "defers a call per map entry; the deferred stack runs in reverse iteration order")
+		case *ast.SendStmt:
+			c.pass.Reportf(s.Pos(), "sends on a channel in map-iteration order; collect into a slice and sort first")
+		case *ast.ReturnStmt:
+			if len(s.Results) > 0 {
+				c.pass.Reportf(s.Pos(), "returns from inside a map range; the chosen element depends on nondeterministic iteration order")
+			}
+		case *ast.GoStmt:
+			c.pass.Reportf(s.Pos(), "launches a goroutine per map entry in iteration order")
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+}
+
+// checkAssign vets one assignment inside a map-range body.
+func (c *checker) checkAssign(s *ast.AssignStmt, local map[types.Object]bool, after [][]ast.Stmt) {
+	if s.Tok == token.DEFINE {
+		return // fresh loop-local variables
+	}
+	if s.Tok != token.ASSIGN {
+		// Compound assignment: commutative integer accumulation is
+		// order-independent; anything else (floats, strings, shifts) is not.
+		for _, lhs := range s.Lhs {
+			if c.safeWrite(lhs, local) {
+				continue
+			}
+			if commutativeAssign[s.Tok] && c.isInteger(lhs) {
+				continue
+			}
+			c.pass.Reportf(s.Pos(), "accumulates into %s in map-iteration order; only integer +=/-=/*=/&=/|=/^= is order-independent", exprString(lhs))
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if c.safeWrite(lhs, local) {
+			continue
+		}
+		// x = append(x, ...) participates in the collect-then-sort idiom:
+		// legal when a recognized sort of x follows the loop.
+		if id, ok := lhs.(*ast.Ident); ok && i < len(s.Rhs) {
+			if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isAppendTo(call, id) {
+				if c.sortedAfter(id, after) {
+					continue
+				}
+				c.pass.Reportf(s.Pos(), "appends to %s in map-iteration order without a deterministic sort after the loop", id.Name)
+				continue
+			}
+		}
+		c.pass.Reportf(s.Pos(), "writes %s in map-iteration order; the final value depends on nondeterministic ordering", exprString(lhs))
+	}
+}
+
+// checkBareCall vets an expression statement: any bare call other than
+// delete/clear on a map is treated as an ordered side effect (an Observer
+// notification, an event emission, output).
+func (c *checker) checkBareCall(s *ast.ExprStmt, local map[types.Object]bool) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "clear") {
+		if c.pass.TypesInfo.Uses[id] == nil || isBuiltin(c.pass.TypesInfo.Uses[id]) {
+			return
+		}
+	}
+	// An in-place sort of one entry's own state (sort.Slice(m[k], ...),
+	// slices.Sort(v)) permutes per-entry data and leaks no order.
+	if c.isSortCall(call) && len(call.Args) > 0 && c.usesLocal(call.Args[0], local) {
+		return
+	}
+	c.pass.Reportf(s.Pos(), "calls %s once per map entry in iteration order; emit from a sorted slice instead", exprString(call.Fun))
+}
+
+func isBuiltin(obj types.Object) bool {
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// checkTarget vets the operand of an IncDecStmt.
+func (c *checker) checkTarget(x ast.Expr, local map[types.Object]bool, pos token.Pos, verb string) {
+	if c.safeWrite(x, local) || c.isInteger(x) {
+		return
+	}
+	c.pass.Reportf(pos, "%s %s in map-iteration order", verb, exprString(x))
+}
+
+// safeWrite reports whether assigning to lhs cannot leak iteration order:
+// a loop-local variable, an indexed slot whose index derives from the
+// loop variables (each entry writes its own cell — m2[k], out[idx]), or a
+// field/pointee of a loop-local value.
+func (c *checker) safeWrite(lhs ast.Expr, local map[types.Object]bool) bool {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		return c.isLocal(e, local)
+	case *ast.IndexExpr:
+		return c.usesLocal(e.Index, local) || c.baseLocal(e.X, local)
+	case *ast.SelectorExpr:
+		return c.baseLocal(e.X, local)
+	case *ast.StarExpr:
+		return c.baseLocal(e.X, local)
+	}
+	return false
+}
+
+// usesLocal reports whether the expression mentions any loop-local
+// identifier.
+func (c *checker) usesLocal(x ast.Expr, local map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.isLocal(id, local) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// baseLocal unwraps selectors, indexes, stars and parens down to the
+// base identifier and reports whether it is loop-local.
+func (c *checker) baseLocal(x ast.Expr, local map[types.Object]bool) bool {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return c.isLocal(e, local)
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		default:
+			return false
+		}
+	}
+}
+
+func (c *checker) isLocal(x ast.Expr, local map[types.Object]bool) bool {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	return obj != nil && local[obj]
+}
+
+func (c *checker) isInteger(x ast.Expr) bool {
+	t := c.pass.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isAppendTo reports whether call is append(target, ...).
+func isAppendTo(call *ast.CallExpr, target *ast.Ident) bool {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && arg.Name == target.Name
+}
+
+// isSortCall reports whether call is one of the recognized sort entry
+// points.
+func (c *checker) isSortCall(call *ast.CallExpr) bool {
+	for path, names := range sortFuncs {
+		for _, name := range names {
+			if c.pass.PkgFunc(call, path, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedAfter scans the statement suffixes that run after the loop for a
+// recognized sort call taking target as an argument.
+func (c *checker) sortedAfter(target *ast.Ident, after [][]ast.Stmt) bool {
+	obj := c.pass.TypesInfo.Uses[target]
+	for _, suffix := range after {
+		for _, s := range suffix {
+			found := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				if c.isSortCall(call) {
+					for _, arg := range call.Args {
+						if id, ok := arg.(*ast.Ident); ok && (c.pass.TypesInfo.Uses[id] == obj && obj != nil || id.Name == target.Name) {
+							found = true
+							return false
+						}
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprString renders a short identifier-ish description of an expression
+// for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun)
+	default:
+		return "expression"
+	}
+}

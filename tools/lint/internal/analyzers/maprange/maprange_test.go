@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"bicriteria/tools/lint/internal/analyzers/maprange"
+	"bicriteria/tools/lint/internal/framework/analysistest"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maprange.Analyzer, "a", "suppressed")
+}

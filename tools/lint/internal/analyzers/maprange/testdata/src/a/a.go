@@ -1,0 +1,137 @@
+// Package a exercises the maprange analyzer: order-leaking map-iteration
+// bodies are diagnostics, order-independent ones and the
+// collect-then-sort idiom are not.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name) // want "appends to names in map-iteration order"
+	}
+	return names
+}
+
+func badEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "calls fmt.Println once per map entry"
+	}
+}
+
+func badWrite(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want "writes last in map-iteration order"
+	}
+	return last
+}
+
+func badReturn(m map[string]int) int {
+	for _, v := range m {
+		return v // want "returns from inside a map range"
+	}
+	return 0
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "accumulates into sum in map-iteration order"
+	}
+	return sum
+}
+
+func badSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "sends on a channel in map-iteration order"
+	}
+}
+
+func badGoroutine(m map[string]int) {
+	for _, v := range m {
+		go fmt.Println(v) // want "launches a goroutine per map entry"
+	}
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func goodNestedCollectSortAfterOuterLoop(ms []map[string]int) []string {
+	var all []string
+	for _, m := range ms {
+		for k := range m {
+			all = append(all, k)
+		}
+	}
+	sort.Strings(all)
+	return all
+}
+
+func goodIntCounter(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+		n++
+	}
+	return n
+}
+
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+func goodIndexedByLoopValue(m map[string]int, slots []int) {
+	for _, idx := range m {
+		slots[idx] = 1
+	}
+}
+
+func goodInPlaceSortPerEntry(m map[string][]int) {
+	for k := range m {
+		sort.Ints(m[k])
+	}
+}
+
+func goodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func goodLoopLocals(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		total := 0
+		for _, v := range vs {
+			total += v
+		}
+		n += total
+	}
+	return n
+}
+
+func badMaxByAssign(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v // want "writes best in map-iteration order"
+		}
+	}
+	return best
+}

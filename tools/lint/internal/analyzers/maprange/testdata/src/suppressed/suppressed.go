@@ -1,0 +1,16 @@
+// Package suppressed proves the escape hatch for maprange.
+package suppressed
+
+import "fmt"
+
+func debugDump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) //lint:allow maprange debugging dump behind a flag; its output is never replayed or diffed
+	}
+}
+
+func commutingGauges(m map[string]float64, set func(string, float64)) {
+	for k, v := range m {
+		set(k, v) //lint:allow maprange one gauge per key; Set is idempotent and commutes
+	}
+}

@@ -1,0 +1,55 @@
+// Package nowallclock forbids reading the wall clock inside deterministic
+// packages.
+//
+// The repo's replay invariant — concurrent replays byte-identical to
+// sequential ones — holds only while scheduling decisions, traces and
+// reports are pure functions of the scenario and its seeds. A single
+// time.Now() or timer on a hot path couples the outcome to the machine's
+// clock and breaks replays silently. Simulated time must flow from the
+// event clock; wall-clock readings are legitimate only when they feed
+// observability (the obs histograms) or the serve pacer, which is exactly
+// what the //lint:allow nowallclock escape hatch documents.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"bicriteria/tools/lint/internal/framework"
+)
+
+// forbidden lists the package time functions that read or schedule against
+// the wall clock. Pure constructors and conversions (time.Duration,
+// time.Unix, ParseDuration, ...) stay legal.
+var forbidden = []string{
+	"Now", "Since", "Until",
+	"After", "AfterFunc", "Tick", "NewTimer", "NewTicker", "Sleep",
+}
+
+// Analyzer is the nowallclock pass.
+var Analyzer = &framework.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/time.Since/timers in deterministic packages; " +
+		"simulated time must come from the event clock, wall clock only from annotated metrics sites",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range forbidden {
+				if pass.PkgFunc(call, "time", name) {
+					pass.Reportf(call.Pos(),
+						"wall-clock call time.%s in deterministic package %s; use the simulated event clock, or annotate a metrics-only reading with //lint:allow nowallclock <reason>",
+						name, pass.PkgPath)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

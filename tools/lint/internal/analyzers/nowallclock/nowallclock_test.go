@@ -1,0 +1,12 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"bicriteria/tools/lint/internal/analyzers/nowallclock"
+	"bicriteria/tools/lint/internal/framework/analysistest"
+)
+
+func TestNowallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nowallclock.Analyzer, "a", "suppressed")
+}

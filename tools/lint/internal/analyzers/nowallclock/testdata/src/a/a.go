@@ -1,0 +1,37 @@
+// Package a exercises the nowallclock analyzer: wall-clock reads and
+// timers are diagnostics, pure time constructions are not.
+package a
+
+import (
+	"time"
+	clock "time"
+)
+
+func bad() {
+	t := time.Now()         // want "wall-clock call time.Now"
+	_ = time.Since(t)       // want "wall-clock call time.Since"
+	_ = time.Until(t)       // want "wall-clock call time.Until"
+	time.Sleep(time.Second) // want "wall-clock call time.Sleep"
+	<-time.After(0)         // want "wall-clock call time.After"
+	_ = time.NewTimer(0)    // want "wall-clock call time.NewTimer"
+	_ = time.NewTicker(1)   // want "wall-clock call time.NewTicker"
+}
+
+func badRenamedImport() {
+	_ = clock.Now() // want "wall-clock call time.Now"
+}
+
+func good() {
+	// Constructing and converting times is pure: no clock is read.
+	d := 3 * time.Second
+	_ = time.Unix(0, 0)
+	_, _ = time.ParseDuration("1s")
+	_ = d.Seconds()
+}
+
+// time is shadowed here: a local helper named like the package is not the
+// wall clock.
+func goodShadow() {
+	time := struct{ Now func() int }{Now: func() int { return 0 }}
+	_ = time.Now()
+}

@@ -1,0 +1,12 @@
+// Package suppressed proves the escape hatch: a reasoned //lint:allow
+// directive silences the analyzer on that line, trailing or above.
+package suppressed
+
+import "time"
+
+func metricsOnly() {
+	start := time.Now() //lint:allow nowallclock latency histogram feed; never reaches a scheduling decision
+	//lint:allow nowallclock observability reading on the line below
+	elapsed := time.Since(start)
+	_ = elapsed
+}

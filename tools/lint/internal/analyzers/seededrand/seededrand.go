@@ -1,0 +1,65 @@
+// Package seededrand forbids the process-global math/rand source.
+//
+// Every random draw in a replayable system must come from a seeded
+// *rand.Rand derived from the scenario seed (the workload and faults
+// samplers thread them through), so two runs of the same scenario see the
+// same randomness. The package-level convenience functions of math/rand
+// and math/rand/v2 draw from a shared, runtime-seeded source — any call
+// makes output depend on process history. rand.Seed is forbidden for the
+// complementary reason: it mutates the global source under every other
+// caller's feet. Constructors (rand.New, rand.NewSource, rand.NewZipf,
+// rand.NewPCG, rand.NewChaCha8) stay legal — they are how seeded streams
+// are built.
+package seededrand
+
+import (
+	"go/ast"
+
+	"bicriteria/tools/lint/internal/framework"
+)
+
+// forbidden maps each rand package to its global-source functions.
+var forbidden = map[string][]string{
+	"math/rand": {
+		"Seed", "Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+		"Uint32", "Uint64", "Float32", "Float64", "ExpFloat64",
+		"NormFloat64", "Perm", "Shuffle", "Read",
+	},
+	"math/rand/v2": {
+		"Int", "IntN", "Int32", "Int32N", "Int64", "Int64N",
+		"Uint", "UintN", "Uint32", "Uint32N", "Uint64", "Uint64N",
+		"Float32", "Float64", "ExpFloat64", "NormFloat64",
+		"Perm", "Shuffle", "N",
+	},
+}
+
+// Analyzer is the seededrand pass.
+var Analyzer = &framework.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid top-level math/rand functions and rand.Seed; randomness must flow " +
+		"from seeded *rand.Rand values derived from the scenario seed",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for path, names := range forbidden {
+				for _, name := range names {
+					if pass.PkgFunc(call, path, name) {
+						pass.Reportf(call.Pos(),
+							"global %s.%s draws from the process-wide source; thread a seeded *rand.Rand instead (rand.New(rand.NewSource(seed)))",
+							path, name)
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"bicriteria/tools/lint/internal/analyzers/seededrand"
+	"bicriteria/tools/lint/internal/framework/analysistest"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seededrand.Analyzer, "a", "suppressed")
+}

@@ -1,0 +1,31 @@
+// Package a exercises the seededrand analyzer: global-source draws are
+// diagnostics, seeded *rand.Rand streams are the approved idiom.
+package a
+
+import (
+	"math/rand"
+	v2 "math/rand/v2"
+)
+
+func bad() int {
+	rand.Seed(42)                      // want "global math/rand.Seed"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand.Shuffle"
+	_ = rand.Float64()                 // want "global math/rand.Float64"
+	_ = rand.Perm(10)                  // want "global math/rand.Perm"
+	return rand.Intn(10)               // want "global math/rand.Intn"
+}
+
+func badV2() int {
+	_ = v2.Float64()   // want "global math/rand/v2.Float64"
+	return v2.IntN(10) // want "global math/rand/v2.IntN"
+}
+
+func good() int {
+	r := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(r, 2, 1, 100)
+	_ = z.Uint64()
+	_ = r.Perm(4)
+	r2 := v2.New(v2.NewPCG(1, 2))
+	_ = r2.IntN(3)
+	return r.Intn(10)
+}

@@ -1,0 +1,8 @@
+// Package suppressed proves the escape hatch for seededrand.
+package suppressed
+
+import "math/rand"
+
+func jitter() int {
+	return rand.Intn(10) //lint:allow seededrand non-replayed startup jitter; determinism is irrelevant here
+}

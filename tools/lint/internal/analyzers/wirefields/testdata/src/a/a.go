@@ -1,0 +1,37 @@
+// Package a exercises the wirefields analyzer: one json tag makes a
+// struct a wire struct, and then every exported field needs a tag.
+package a
+
+// Report is a wire struct: Name's tag commits the whole struct.
+type Report struct {
+	Name     string  `json:"name"`
+	Makespan float64 // want "field Makespan of wire struct Report has no json tag"
+	JobID    int     // want "field JobID of wire struct Report has no json tag"
+	hidden   bool    // unexported: invisible to encoding/json
+	Skipped  string  `json:"-"`
+}
+
+// Plain carries no json tags at all, so it is not a wire struct.
+type Plain struct {
+	A int
+	B string
+}
+
+// Meta is embedded below; it has no tags itself so it is not a wire
+// struct on its own.
+type Meta struct {
+	K string
+}
+
+type header struct{}
+
+// Embedded shows the embedded-field handling: an exported untagged
+// embedded type is flagged, an unexported one is skipped.
+type Embedded struct {
+	Version int `json:"version"`
+	header
+	Meta // want "field Meta of wire struct Embedded has no json tag"
+}
+
+var _ = Report{hidden: false}
+var _ = Embedded{header: header{}}

@@ -1,0 +1,9 @@
+// Package suppressed proves the escape hatch for wirefields.
+package suppressed
+
+// Legacy keeps one pre-discipline field marshaling under its Go name on
+// purpose; the annotation documents the frozen wire name.
+type Legacy struct {
+	Name  string `json:"name"`
+	Count int    //lint:allow wirefields wire name Count predates the tag discipline and is frozen by the v1 golden files
+}

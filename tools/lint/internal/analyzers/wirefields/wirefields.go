@@ -1,0 +1,139 @@
+// Package wirefields pins the wire formats at the struct level.
+//
+// The repo's golden files freeze report, trace and scenario bytes; the
+// structs behind them are recognizable because at least one field
+// carries a json tag. On such a wire struct every exported field must
+// carry an explicit json tag too — `json:"-"` included — because an
+// untagged field silently enters the encoding under its Go name, so a
+// rename or an innocent new field drifts the golden format without any
+// reviewer seeing a format change. This is the testdata/api.golden
+// discipline applied one level down.
+package wirefields
+
+import (
+	"go/ast"
+	"reflect"
+	"strings"
+
+	"bicriteria/tools/lint/internal/framework"
+)
+
+// Analyzer is the wirefields pass.
+var Analyzer = &framework.Analyzer{
+	Name: "wirefields",
+	Doc: "every exported field of a wire struct (any struct with at least one json tag) " +
+		"must carry an explicit json tag, json:\"-\" included",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			checkStruct(pass, ts.Name.Name, st)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkStruct(pass *framework.Pass, name string, st *ast.StructType) {
+	if !hasJSONTag(st) {
+		return // not a wire struct
+	}
+	for _, field := range st.Fields.List {
+		if jsonTagged(field) {
+			continue
+		}
+		for _, fname := range fieldNames(field) {
+			if !ast.IsExported(fname.name) {
+				continue // invisible to encoding/json
+			}
+			pass.Reportf(fname.at.Pos(),
+				"field %s of wire struct %s has no json tag; tag it explicitly (json:%q or json:\"-\") so the wire format cannot drift silently",
+				fname.name, name, jsonName(fname.name))
+		}
+	}
+}
+
+// hasJSONTag reports whether any field of the struct carries a json tag.
+func hasJSONTag(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if jsonTagged(field) {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonTagged reports whether the field's struct tag has a json key.
+func jsonTagged(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`"))
+	_, ok := tag.Lookup("json")
+	return ok
+}
+
+// namedField pairs a field name with a position for reporting; embedded
+// fields report at the embedded type.
+type namedField struct {
+	name string
+	at   ast.Node
+}
+
+// fieldNames lists the declared names of a field, resolving an embedded
+// field to its type name.
+func fieldNames(field *ast.Field) []namedField {
+	if len(field.Names) > 0 {
+		out := make([]namedField, 0, len(field.Names))
+		for _, id := range field.Names {
+			out = append(out, namedField{id.Name, id})
+		}
+		return out
+	}
+	// Embedded field: unwrap *pkg.T / pkg.T / T to the bare type name.
+	t := field.Type
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.SelectorExpr:
+			return []namedField{{e.Sel.Name, e.Sel}}
+		case *ast.Ident:
+			return []namedField{{e.Name, e}}
+		default:
+			return nil
+		}
+	}
+}
+
+// jsonName suggests the conventional snake_case tag for a Go field name,
+// keeping acronym runs together (JobID -> job_id).
+func jsonName(field string) string {
+	runes := []rune(field)
+	var b strings.Builder
+	for i, r := range runes {
+		upper := r >= 'A' && r <= 'Z'
+		if upper && i > 0 {
+			prevLower := runes[i-1] >= 'a' && runes[i-1] <= 'z'
+			nextLower := i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z'
+			if prevLower || nextLower {
+				b.WriteByte('_')
+			}
+		}
+		if upper {
+			r = r - 'A' + 'a'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

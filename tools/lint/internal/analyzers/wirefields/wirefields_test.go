@@ -1,0 +1,12 @@
+package wirefields_test
+
+import (
+	"testing"
+
+	"bicriteria/tools/lint/internal/analyzers/wirefields"
+	"bicriteria/tools/lint/internal/framework/analysistest"
+)
+
+func TestWirefields(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), wirefields.Analyzer, "a", "suppressed")
+}

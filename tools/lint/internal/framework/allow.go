@@ -1,0 +1,93 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //lint:allow escape hatch.
+//
+// A directive of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// suppresses that analyzer's diagnostics on the directive's own line
+// (trailing comment) and on the first line after its comment group (doc
+// comment or stand-alone comment line). The reason is mandatory: a
+// directive without one is itself reported, so every suppression in the
+// tree documents why the invariant may be broken there.
+
+const allowPrefix = "//lint:allow"
+
+// allowKey locates one suppression: a (file, line) pair plus the analyzer
+// it silences.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+// suppresses reports whether d is covered by a directive.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+}
+
+// collectAllows scans every comment of the package for directives,
+// returning the suppression set and one diagnostic per malformed
+// directive (missing analyzer name or missing reason).
+func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		code := codeLines(pkg.Fset, f)
+		for _, group := range f.Comments {
+			groupEnd := pkg.Fset.Position(group.End())
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint", Message: "lint:allow directive names no analyzer"})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "lint",
+						Message: "lint:allow " + fields[0] + " gives no reason; a justification is mandatory"})
+					continue
+				}
+				analyzer := fields[0]
+				// A trailing directive covers its own line only; a
+				// stand-alone comment group additionally covers the first
+				// line after it (doc-comment position), so a directive
+				// cannot silently leak past the statement it annotates.
+				set[allowKey{pos.Filename, pos.Line, analyzer}] = true
+				if !code[pos.Line] {
+					set[allowKey{groupEnd.Filename, groupEnd.Line + 1, analyzer}] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// codeLines marks every line on which a non-comment AST node starts,
+// which is how a trailing comment (code before it on the line) is told
+// apart from a stand-alone comment group.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}

@@ -1,0 +1,78 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+func a() {
+	_ = 1 //lint:allow nowallclock metrics-only reading of the wall clock
+}
+
+// The directive below covers the first line after its comment group.
+//lint:allow maprange the updates commute
+var x = map[string]int{}
+
+func b() {
+	_ = 2 //lint:allow
+	_ = 3 //lint:allow seededrand
+}
+`
+
+func parseAllowSrc(t *testing.T) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_src.go", allowSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestCollectAllowsSuppression(t *testing.T) {
+	pkg := parseAllowSrc(t)
+	set, _ := collectAllows(pkg)
+
+	diag := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "allow_src.go", Line: line},
+			Analyzer: analyzer,
+		}
+	}
+	if !set.suppresses(diag(4, "nowallclock")) {
+		t.Errorf("trailing directive does not suppress nowallclock on its own line")
+	}
+	if !set.suppresses(diag(9, "maprange")) {
+		t.Errorf("stand-alone directive does not suppress maprange on the line after its group")
+	}
+	if set.suppresses(diag(4, "seededrand")) {
+		t.Errorf("directive for nowallclock must not suppress seededrand")
+	}
+	if set.suppresses(diag(5, "nowallclock")) {
+		t.Errorf("trailing directive must not leak to the next line")
+	}
+}
+
+func TestCollectAllowsMalformed(t *testing.T) {
+	pkg := parseAllowSrc(t)
+	_, bad := collectAllows(pkg)
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 2: %v", len(bad), bad)
+	}
+	if got := bad[0].Message; !strings.Contains(got, "names no analyzer") {
+		t.Errorf("bare directive: got %q, want a names-no-analyzer diagnostic", got)
+	}
+	if got := bad[1].Message; !strings.Contains(got, "lint:allow seededrand gives no reason") {
+		t.Errorf("reasonless directive: got %q, want a gives-no-reason diagnostic", got)
+	}
+	for _, d := range bad {
+		if d.Analyzer != "lint" {
+			t.Errorf("malformed directive reported by %q, want analyzer \"lint\"", d.Analyzer)
+		}
+	}
+}

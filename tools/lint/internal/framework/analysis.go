@@ -1,0 +1,148 @@
+// Package framework is a dependency-free miniature of
+// golang.org/x/tools/go/analysis: just enough Analyzer/Pass machinery to
+// express the repo's determinism invariants as static checks, load and
+// typecheck the (equally dependency-free) main module with the standard
+// library alone, and honour the //lint:allow escape hatch.
+//
+// The API deliberately mirrors go/analysis so the analyzers can migrate to
+// the real framework unchanged the day an x/tools dependency becomes
+// acceptable in this tree.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a single lower-case word.
+	Name string
+	// Doc is the one-paragraph description printed by bicrit-lint -list.
+	Doc string
+	// Run applies the check to one package, reporting findings on pass.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package through one analyzer, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path of the package under analysis.
+	PkgPath string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, resolved to a concrete file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil when unknown (for
+// example inside a package that failed to fully typecheck).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ImportedPackage resolves an identifier to the package it names: the
+// returned path is non-empty only when id is the local name of an import
+// (e.g. the "rand" of `import "math/rand"`).
+func (p *Pass) ImportedPackage(id *ast.Ident) string {
+	if obj, ok := p.TypesInfo.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}
+
+// PkgFunc reports whether call is a call of the package-level function
+// path.name (not a method, not a shadowed local). It resolves through the
+// file's imports, so renamed imports are handled.
+func (p *Pass) PkgFunc(call *ast.CallExpr, path, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return p.ImportedPackage(id) == path
+}
+
+// Run applies every analyzer to every package, drops diagnostics
+// suppressed by a //lint:allow directive, appends one diagnostic per
+// malformed directive, and returns the findings in (file, line, column,
+// analyzer) order.
+func Run(analyzers []*Analyzer, pkgs []*Package, filter func(a *Analyzer, pkgPath string) bool) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows, bad := collectAllows(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			if filter != nil && !filter(a, pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				PkgPath:   pkg.Path,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+			}
+			seen := map[Diagnostic]bool{}
+			for _, d := range pass.diags {
+				if allows.suppresses(d) || seen[d] {
+					continue
+				}
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

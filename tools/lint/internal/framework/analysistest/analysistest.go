@@ -1,0 +1,135 @@
+// Package analysistest runs an analyzer over testdata packages and checks
+// its diagnostics against // want comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the in-tree framework.
+//
+// A test package lives under testdata/src/<name>. Each expected
+// diagnostic is declared on the offending line as
+//
+//	code() // want "regexp"
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched, so a test fails both when the analyzer stays silent on a
+// positive case and when it fires on a negative one. //lint:allow
+// directives are honoured exactly as in production, which is how the
+// suppressed-case fixtures prove the escape hatch works.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"bicriteria/tools/lint/internal/framework"
+)
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<pkg> for each named package, applies the
+// analyzer, and reports mismatches between diagnostics and want comments
+// on t.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			runOne(t, dir, a)
+		})
+	}
+}
+
+// TestData returns the absolute testdata directory of the caller's
+// package, fatally failing t when the working directory is unreadable.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+func runOne(t *testing.T, dir string, a *framework.Analyzer) {
+	t.Helper()
+	loader, err := framework.NewTestLoader(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := framework.Run([]*framework.Analyzer{a}, []*framework.Package{pkg}, nil)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatalf("want comments: %v", err)
+	}
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && !matched[w] && w.re.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants extracts the // want comments of every non-test Go file in
+// dir, including those in _test-free fixtures with build-breaking names.
+func collectWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %w", path, m[1], err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &want{file: path, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

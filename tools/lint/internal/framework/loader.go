@@ -1,0 +1,311 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and typechecked package of the module
+// under analysis.
+type Package struct {
+	// Path is the import path ("bicriteria/internal/core").
+	Path string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset is the file set shared by every package of one Loader.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the typechecked package object (never nil, possibly
+	// incomplete when TypeErrors is non-empty).
+	Types *types.Package
+	// Info carries the resolved identifier and expression types.
+	Info *types.Info
+	// TypeErrors collects typechecking problems; analyzers run anyway and
+	// degrade gracefully on nil types.
+	TypeErrors []error
+}
+
+// Loader loads packages of a single module plus their standard-library
+// dependencies, with no toolchain downloads: module-internal imports are
+// typechecked recursively from source, standard-library imports go through
+// go/importer's source importer (which reads GOROOT/src), so the loader
+// works offline and needs no compiled export data.
+type Loader struct {
+	// ModuleRoot is the directory holding the module's go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	fset     *token.FileSet
+	std      types.ImporterFrom
+	pkgs     map[string]*Package // by import path
+	stdCache map[string]*types.Package
+	loading  map[string]bool // cycle guard
+}
+
+// NewLoader locates the enclosing module of dir by walking up to the
+// nearest go.mod and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		pkgs:       map[string]*Package{},
+		stdCache:   map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}
+	if src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom); ok {
+		l.std = src
+	} else {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return l, nil
+}
+
+// NewTestLoader returns a loader rooted at dir itself under a synthetic
+// module path, for analysistest fixtures that carry no go.mod.
+func NewTestLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModuleRoot: abs,
+		ModulePath: "test",
+		fset:       fset,
+		pkgs:       map[string]*Package{},
+		stdCache:   map[string]*types.Package{},
+		loading:    map[string]bool{},
+	}
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	l.std = src
+	return l, nil
+}
+
+// LoadDir loads the single package rooted at dir.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	return l.loadDir(dir)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load expands the patterns (a directory, an import path below the
+// module, or either followed by /...) and returns the matched packages in
+// import-path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		dir := pat
+		if strings.HasPrefix(pat, l.ModulePath) {
+			dir = filepath.Join(l.ModuleRoot, strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/"))
+		} else if !filepath.IsAbs(pat) {
+			dir = filepath.Join(l.ModuleRoot, pat)
+		}
+		if !recursive {
+			dirs[dir] = true
+			continue
+		}
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if p != l.ModuleRoot {
+				if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil && p != dir {
+					return filepath.SkipDir // nested module (e.g. tools/lint itself)
+				}
+			}
+			dirs[p] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []*Package
+	for dir := range dirs {
+		hasGo, err := dirHasGoFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !hasGo {
+			continue
+		}
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func dirHasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// importPathOf maps a directory below the module root to its import path.
+func (l *Loader) importPathOf(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses and typechecks the package in dir (memoized by path).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathOf(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) { return l.importPkg(p, dir) }),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info) // errors land in pkg.TypeErrors
+	pkg.Files = files
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import: module-internal paths load recursively,
+// "unsafe" maps to types.Unsafe, everything else is treated as standard
+// library and typechecked from GOROOT/src.
+func (l *Loader) importPkg(path, fromDir string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadDir(filepath.Join(l.ModuleRoot, strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if p, ok := l.stdCache[path]; ok {
+		return p, nil
+	}
+	p, err := l.std.ImportFrom(path, fromDir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: import %q: %w", path, err)
+	}
+	l.stdCache[path] = p
+	return p, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,32 @@
+package framework
+
+import "testing"
+
+// TestLoadMainModule proves the stdlib-only loader can parse and fully
+// typecheck the dependency-free main module offline: every package loads
+// and none records a type error. This is the foundation the analyzers
+// stand on; a typechecking gap would silently blind them.
+func TestLoadMainModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repo; skipped in -short")
+	}
+	l, err := NewLoader("../../../..")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.ModulePath != "bicriteria" {
+		t.Fatalf("module path = %q, want bicriteria", l.ModulePath)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 30 {
+		t.Fatalf("loaded only %d packages, expected the full module (>30)", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: %d type errors, first: %v", p.Path, len(p.TypeErrors), p.TypeErrors[0])
+		}
+	}
+}
